@@ -1,0 +1,27 @@
+"""Ablation: probe batch size for the multi-threaded join.
+
+The paper's threads fetch 16 tuples per batch (C++ granularity); numpy
+needs larger batches to amortize kernel launches.  This bench locates the
+plateau."""
+
+import pytest
+
+from repro.core.joins import parallel_count_join
+
+
+@pytest.mark.parametrize("batch_size", [1 << 12, 1 << 14, 1 << 16, 1 << 18])
+def test_batch_size(benchmark, workbench, taxi, batch_size):
+    _, _, ids = taxi
+    precision = min(workbench.config.precisions)
+    store = workbench.store("neighborhoods", precision, "ACT4")
+    num_polygons = len(workbench.polygons("neighborhoods"))
+    benchmark(
+        parallel_count_join,
+        store,
+        store.lookup_table,
+        ids,
+        num_polygons,
+        2,
+        batch_size=batch_size,
+    )
+    benchmark.extra_info["batch_size"] = batch_size

@@ -1,0 +1,42 @@
+"""Ablation: Hilbert vs Morton enumeration (Section 2's curve independence).
+
+Both curves satisfy the prefix property ACT needs; they differ in point
+*conversion* cost (table walk vs bit interleave) and in the locality of
+probe access patterns on clustered data."""
+
+import pytest
+
+from repro.cells.curves import (
+    morton_cell_ids_from_lat_lng_arrays,
+    reencode_super_covering_morton,
+)
+from repro.cells.vectorized import cell_ids_from_lat_lng_arrays
+from repro.core.act import AdaptiveCellTrie
+from repro.core.joins import approximate_join
+from repro.core.lookup_table import LookupTable
+
+
+@pytest.mark.parametrize(
+    "converter",
+    [cell_ids_from_lat_lng_arrays, morton_cell_ids_from_lat_lng_arrays],
+    ids=["hilbert", "morton"],
+)
+def test_point_conversion(benchmark, workbench, taxi, converter):
+    lats, lngs, _ = taxi
+    ids = benchmark(converter, lats, lngs)
+    assert len(ids) == len(lats)
+
+
+@pytest.mark.parametrize("curve", ["hilbert", "morton"])
+def test_probe_by_curve(benchmark, workbench, taxi, curve):
+    lats, lngs, hilbert_ids = taxi
+    precision = min(workbench.config.precisions)
+    covering, _ = workbench.super_covering("neighborhoods", precision)
+    if curve == "hilbert":
+        ids = hilbert_ids
+    else:
+        covering = reencode_super_covering_morton(covering)
+        ids = morton_cell_ids_from_lat_lng_arrays(lats, lngs)
+    store = AdaptiveCellTrie(covering, 8, LookupTable())
+    num_polygons = len(workbench.polygons("neighborhoods"))
+    benchmark(approximate_join, store, store.lookup_table, ids, num_polygons)

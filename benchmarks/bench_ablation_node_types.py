@@ -1,0 +1,28 @@
+"""Ablation: ART-style Node4 compressed nodes vs plain ACT.
+
+The paper considered and rejected adaptive node sizes; this bench
+reproduces the measurement behind that decision (probe slowdown from node
+type dispatch vs modest memory savings)."""
+
+import pytest
+
+from repro.core.act import AdaptiveCellTrie
+from repro.core.act_compressed import CompressedCellTrie
+from repro.core.joins import approximate_join
+from repro.core.lookup_table import LookupTable
+
+
+@pytest.mark.parametrize(
+    "factory", [AdaptiveCellTrie, CompressedCellTrie], ids=["ACT4", "ACT4+Node4"]
+)
+def test_node_type_ablation(benchmark, workbench, taxi, factory):
+    _, _, ids = taxi
+    precision = min(workbench.config.precisions)
+    covering, _ = workbench.super_covering("neighborhoods", precision)
+    store = factory(covering, 8, LookupTable())
+    num_polygons = len(workbench.polygons("neighborhoods"))
+    benchmark(approximate_join, store, store.lookup_table, ids, num_polygons)
+    benchmark.extra_info["size_mib"] = round(store.size_bytes / 2**20, 2)
+    if isinstance(store, CompressedCellTrie):
+        benchmark.extra_info["num_node4"] = store.num_node4
+        benchmark.extra_info["num_full_nodes"] = store.num_full_nodes

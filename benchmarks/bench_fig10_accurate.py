@@ -1,0 +1,37 @@
+"""Figure 10 kernels: the accurate join — ACT (true hit filtering + PIP
+refinement) versus S2ShapeIndex-analog, R-tree, and PostGIS-analog."""
+
+import pytest
+
+from repro.baselines import GiSTIndex, RTree, ShapeIndex
+from repro.core.joins import accurate_join
+
+
+def test_act4_accurate(benchmark, workbench, taxi, neighborhoods):
+    lats, lngs, ids = taxi
+    store = workbench.store("neighborhoods", None, "ACT4")
+    result = benchmark(
+        accurate_join, store, store.lookup_table, ids, neighborhoods, lngs, lats
+    )
+    benchmark.extra_info["pip_per_point"] = round(result.num_pip_tests / len(ids), 4)
+    benchmark.extra_info["sth"] = round(result.sth_rate, 4)
+
+
+@pytest.mark.parametrize("max_edges", [1, 10], ids=["SI1", "SI10"])
+def test_shape_index_accurate(benchmark, workbench, taxi, neighborhoods, max_edges):
+    lats, lngs, ids = taxi
+    index = ShapeIndex(neighborhoods, max_edges_per_cell=max_edges, max_level=17)
+    result = benchmark(index.join, ids, lngs, lats)
+    benchmark.extra_info["cells"] = index.num_cells
+    benchmark.extra_info["edge_tests_per_point"] = round(
+        result.num_pip_tests / len(ids), 4
+    )
+
+
+@pytest.mark.parametrize("factory", [RTree, GiSTIndex], ids=["RT", "PG"])
+def test_filter_refine_accurate(benchmark, workbench, taxi, neighborhoods, factory):
+    lats, lngs, _ = taxi
+    limit = workbench.config.slow_baseline_points
+    tree = factory(neighborhoods)
+    result = benchmark(tree.join, lngs[:limit], lats[:limit])
+    benchmark.extra_info["pip_per_point"] = round(result.num_pip_tests / limit, 4)

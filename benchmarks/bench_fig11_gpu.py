@@ -1,0 +1,44 @@
+"""Figure 11 kernels: ACT4 versus the raster-join GPU substitutes."""
+
+import os
+
+import pytest
+
+from repro.baselines import RasterJoin
+from repro.core.joins import parallel_count_join
+
+
+@pytest.mark.parametrize("precision", [60.0, 15.0])
+def test_act4_parallel(benchmark, workbench, taxi, precision):
+    _, _, ids = taxi
+    threads = min(16, os.cpu_count() or 1)
+    store = workbench.store("neighborhoods", precision, "ACT4")
+    num_polygons = len(workbench.polygons("neighborhoods"))
+    benchmark(
+        parallel_count_join, store, store.lookup_table, ids, num_polygons, threads
+    )
+    benchmark.extra_info["threads"] = threads
+
+
+@pytest.mark.parametrize("precision", [60.0, 15.0])
+def test_brj(benchmark, workbench, taxi, neighborhoods, precision):
+    lats, lngs, _ = taxi
+    raster = RasterJoin(
+        neighborhoods,
+        precision_meters=precision,
+        max_texture=workbench.config.max_texture,
+    )
+    benchmark(raster.join, lngs, lats)
+    benchmark.extra_info["passes"] = raster.num_passes
+    benchmark.extra_info["grid"] = f"{raster.width}x{raster.height}"
+
+
+def test_arj(benchmark, workbench, taxi, neighborhoods):
+    lats, lngs, _ = taxi
+    raster = RasterJoin(
+        neighborhoods,
+        precision_meters=None,
+        max_texture=workbench.config.max_texture,
+    )
+    result = benchmark(raster.join, lngs, lats)
+    benchmark.extra_info["pip_per_point"] = round(result.num_pip_tests / len(lngs), 4)

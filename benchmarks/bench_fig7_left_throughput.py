@@ -1,0 +1,23 @@
+"""Figure 7 (left) kernel: single-threaded probe throughput per structure
+(taxi-analog points, finest configured precision)."""
+
+import pytest
+
+from repro.bench.workbench import STORE_FACTORIES
+from repro.core.joins import approximate_join
+
+
+@pytest.mark.parametrize("dataset", ["boroughs", "neighborhoods", "census"])
+@pytest.mark.parametrize("kind", list(STORE_FACTORIES))
+def test_probe_throughput(benchmark, workbench, taxi, dataset, kind):
+    _, _, ids = taxi
+    precision = min(workbench.config.precisions)
+    store = workbench.store(dataset, precision, kind)
+    num_polygons = len(workbench.polygons(dataset))
+    result = benchmark(
+        approximate_join, store, store.lookup_table, ids, num_polygons
+    )
+    benchmark.extra_info["mpts"] = round(
+        len(ids) / benchmark.stats["mean"] / 1e6, 2
+    )
+    benchmark.extra_info["pairs"] = result.num_pairs

@@ -1,0 +1,18 @@
+"""Figure 7 (middle) kernel: probe throughput across precisions
+(neighborhoods).  The paper's claim: ACT4 is nearly precision-insensitive
+while GBT/LB degrade with the larger cell count."""
+
+import pytest
+
+from repro.core.joins import approximate_join
+
+
+@pytest.mark.parametrize("precision", [60.0, 15.0])
+@pytest.mark.parametrize("kind", ["ACT1", "ACT4", "GBT", "LB"])
+def test_probe_across_precisions(benchmark, workbench, taxi, precision, kind):
+    _, _, ids = taxi
+    store = workbench.store("neighborhoods", precision, kind)
+    num_polygons = len(workbench.polygons("neighborhoods"))
+    benchmark(approximate_join, store, store.lookup_table, ids, num_polygons)
+    covering, _ = workbench.super_covering("neighborhoods", precision)
+    benchmark.extra_info["num_cells"] = covering.num_cells

@@ -1,0 +1,27 @@
+"""Figure 7 (right) kernel: multi-threaded probe scaling (neighborhoods)."""
+
+import os
+
+import pytest
+
+from repro.core.joins import parallel_count_join
+
+
+@pytest.mark.parametrize("threads", [1, 2])
+def test_parallel_probe(benchmark, workbench, taxi, threads):
+    if threads > (os.cpu_count() or 1):
+        pytest.skip("not enough hardware threads")
+    _, _, ids = taxi
+    precision = min(workbench.config.precisions)
+    store = workbench.store("neighborhoods", precision, "ACT4")
+    num_polygons = len(workbench.polygons("neighborhoods"))
+    benchmark(
+        parallel_count_join,
+        store,
+        store.lookup_table,
+        ids,
+        num_polygons,
+        threads,
+    )
+    benchmark.extra_info["threads"] = threads
+    benchmark.extra_info["hardware_threads"] = os.cpu_count()

@@ -1,0 +1,19 @@
+"""Figure 8 kernel: probe throughput with uniform synthetic points.
+
+Uniform points hit large root-level cells more often (shallow traversals)
+but with worse cache behaviour — the paper measures a slowdown versus the
+clustered taxi data."""
+
+import pytest
+
+from repro.core.joins import approximate_join
+
+
+@pytest.mark.parametrize("dataset", ["boroughs", "neighborhoods", "census"])
+def test_uniform_probe(benchmark, workbench, dataset):
+    precision = min(workbench.config.precisions)
+    store = workbench.store(dataset, precision, "ACT4")
+    _, _, ids = workbench.uniform(dataset)
+    num_polygons = len(workbench.polygons(dataset))
+    benchmark(approximate_join, store, store.lookup_table, ids, num_polygons)
+    benchmark.extra_info["mpts"] = round(len(ids) / benchmark.stats["mean"] / 1e6, 2)

@@ -1,0 +1,19 @@
+"""Figure 9 kernel: Twitter-analog city workloads (clustered points joined
+with neighborhood polygons of the paper's per-city counts)."""
+
+import pytest
+
+from repro.core.joins import approximate_join
+
+
+@pytest.mark.parametrize("city", ["BOS", "NYC"])
+@pytest.mark.parametrize("precision", [60.0, 15.0])
+def test_twitter_city_probe(benchmark, workbench, city, precision):
+    dataset = f"twitter:{city}"
+    store = workbench.store(dataset, precision, "ACT4")
+    _, _, ids = workbench.twitter(city)
+    num_polygons = len(workbench.polygons(dataset))
+    benchmark(approximate_join, store, store.lookup_table, ids, num_polygons)
+    benchmark.extra_info["city"] = city
+    benchmark.extra_info["num_polygons"] = num_polygons
+    benchmark.extra_info["num_points"] = len(ids)

@@ -1,0 +1,28 @@
+"""Table 2 kernels: build times of the physical representations."""
+
+import pytest
+
+from repro.baselines import BTreeStore, SortedVectorStore
+from repro.core.act import AdaptiveCellTrie
+from repro.core.lookup_table import LookupTable
+
+
+@pytest.mark.parametrize("fanout_bits", [2, 4, 8], ids=["ACT1", "ACT2", "ACT4"])
+def test_act_build(benchmark, workbench, fanout_bits):
+    covering, _ = workbench.super_covering("neighborhoods", 60.0)
+    act = benchmark(AdaptiveCellTrie, covering, fanout_bits, LookupTable())
+    benchmark.extra_info["num_nodes"] = act.num_nodes
+    benchmark.extra_info["size_mib"] = round(act.size_bytes / 2**20, 2)
+
+
+def test_gbt_build(benchmark, workbench):
+    covering, _ = workbench.super_covering("neighborhoods", 60.0)
+    store = benchmark(BTreeStore, covering, LookupTable())
+    benchmark.extra_info["height"] = store.height
+    benchmark.extra_info["size_mib"] = round(store.size_bytes / 2**20, 2)
+
+
+def test_lb_build(benchmark, workbench):
+    covering, _ = workbench.super_covering("neighborhoods", 60.0)
+    store = benchmark(SortedVectorStore, covering, LookupTable())
+    benchmark.extra_info["size_mib"] = round(store.size_bytes / 2**20, 2)

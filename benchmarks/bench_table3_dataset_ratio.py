@@ -1,0 +1,19 @@
+"""Table 3 kernel: probe cost across polygon datasets per structure.
+
+Comparing the boroughs/census timings of each parametrized case yields the
+speedup ratios of Table 3 (ACT benefits most from coarse datasets because
+large cells sit near its root)."""
+
+import pytest
+
+from repro.core.joins import approximate_join
+
+
+@pytest.mark.parametrize("dataset", ["boroughs", "census"])
+@pytest.mark.parametrize("kind", ["ACT1", "ACT4", "GBT", "LB"])
+def test_dataset_granularity_cost(benchmark, workbench, taxi, dataset, kind):
+    _, _, ids = taxi
+    precision = min(workbench.config.precisions)
+    store = workbench.store(dataset, precision, kind)
+    num_polygons = len(workbench.polygons(dataset))
+    benchmark(approximate_join, store, store.lookup_table, ids, num_polygons)

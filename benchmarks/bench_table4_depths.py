@@ -1,0 +1,18 @@
+"""Table 4 kernel: the instrumented probe that records traversal depths."""
+
+import pytest
+
+
+@pytest.mark.parametrize("points_kind", ["uniform", "taxi"])
+def test_instrumented_probe(benchmark, workbench, points_kind):
+    precision = min(workbench.config.precisions)
+    store = workbench.store("neighborhoods", precision, "ACT4")
+    if points_kind == "uniform":
+        _, _, ids = workbench.uniform("neighborhoods")
+    else:
+        _, _, ids = workbench.taxi()
+    _, stats = benchmark(store.probe_instrumented, ids)
+    benchmark.extra_info["avg_depth"] = round(stats.avg_depth, 2)
+    benchmark.extra_info["depth_histogram"] = {
+        k: round(v, 3) for k, v in stats.depth_histogram().items()
+    }

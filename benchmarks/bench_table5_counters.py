@@ -1,0 +1,30 @@
+"""Table 5 kernel: per-point probe cost, uniform vs taxi points.
+
+The benchmark's ns/op stands in for the paper's cycle counts; the
+structural counters are attached as extra info."""
+
+import pytest
+
+from repro.bench.table5 import _structural_counters
+from repro.bench.workbench import STORE_FACTORIES
+from repro.core.joins import approximate_join
+
+
+@pytest.mark.parametrize("points_kind", ["uniform", "taxi"])
+@pytest.mark.parametrize("kind", list(STORE_FACTORIES))
+def test_per_point_cost(benchmark, workbench, points_kind, kind):
+    precision = min(workbench.config.precisions)
+    store = workbench.store("neighborhoods", precision, kind)
+    if points_kind == "uniform":
+        _, _, ids = workbench.uniform("neighborhoods")
+    else:
+        _, _, ids = workbench.taxi()
+    num_polygons = len(workbench.polygons("neighborhoods"))
+    benchmark(approximate_join, store, store.lookup_table, ids, num_polygons)
+    accesses, comparisons, lines = _structural_counters(store, ids)
+    benchmark.extra_info["node_accesses"] = round(accesses, 2)
+    benchmark.extra_info["key_comparisons"] = round(comparisons, 2)
+    benchmark.extra_info["cache_lines"] = round(lines, 2)
+    benchmark.extra_info["ns_per_point"] = round(
+        benchmark.stats["mean"] / len(ids) * 1e9, 1
+    )

@@ -1,0 +1,41 @@
+"""Shared fixtures for the pytest-benchmark suite.
+
+Every benchmark file regenerates the probe/build kernel of one table or
+figure of the paper at smoke scale (so ``pytest benchmarks/
+--benchmark-only`` completes in minutes); the full-scale numbers live in
+EXPERIMENTS.md and are produced by ``python -m repro.bench all``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.config import BenchConfig
+from repro.bench.workbench import Workbench
+
+
+@pytest.fixture(scope="session")
+def workbench() -> Workbench:
+    config = BenchConfig(
+        taxi_points=120_000,
+        uniform_points=60_000,
+        twitter_nyc_points=60_000,
+        precisions=(60.0, 15.0),
+        census_polygons=400,
+        threads=(1, 2),
+        training_points=(20_000,),
+        slow_baseline_points=20_000,
+        max_texture=512,
+    )
+    return Workbench(config)
+
+
+@pytest.fixture(scope="session")
+def taxi(workbench):
+    return workbench.taxi()
+
+
+@pytest.fixture(scope="session")
+def neighborhoods(workbench):
+    return workbench.polygons("neighborhoods")

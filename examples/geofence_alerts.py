@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Streaming geofencing: the Uber-style motivating use case of the paper.
+
+A fleet of vehicles reports positions in batches; each position must be
+mapped to its geofence (surge-pricing zone) in near real time.  Because GPS
+positions are only accurate to a few meters anyway, the *approximate* join
+with a 4 m precision bound answers every batch without a single geometric
+test — the scenario where the paper's index shines.
+
+Run:  python examples/geofence_alerts.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import PolygonIndex
+from repro.datasets import polygon_dataset, taxi_points
+
+
+def simulate_stream(num_batches: int, batch_size: int, seed: int = 0):
+    """Yield batches of (lats, lngs) vehicle positions."""
+    for batch in range(num_batches):
+        lats, lngs = taxi_points(batch_size, seed=seed + batch)
+        yield lats, lngs
+
+
+def main() -> None:
+    print("building geofences (289 zones) with a 4 m precision bound...")
+    zones = polygon_dataset("neighborhoods")
+    start = time.perf_counter()
+    index = PolygonIndex.build(zones, precision_meters=4.0)
+    print(f"  built in {time.perf_counter() - start:.1f}s: "
+          f"{index.num_cells:,} cells, {index.size_bytes / 2**20:.1f} MiB")
+
+    batch_size = 200_000
+    num_batches = 10
+    print(f"\nprocessing {num_batches} batches of {batch_size:,} positions...")
+    total_points = 0
+    total_seconds = 0.0
+    zone_totals = np.zeros(len(zones), dtype=np.int64)
+    for batch, (lats, lngs) in enumerate(simulate_stream(num_batches, batch_size)):
+        start = time.perf_counter()
+        result = index.join(lats, lngs)  # approximate: zero PIP tests
+        elapsed = time.perf_counter() - start
+        total_points += len(lats)
+        total_seconds += elapsed
+        zone_totals += result.counts
+        print(f"  batch {batch:>2}: {len(lats) / elapsed / 1e6:5.1f} M positions/s, "
+              f"{result.num_pairs:,} zone hits")
+
+    print(f"\noverall: {total_points / total_seconds / 1e6:.1f} M positions/s "
+          f"sustained, 0 geometric tests")
+    busiest = np.argsort(zone_totals)[::-1][:3]
+    print("surge candidates (busiest zones):",
+          ", ".join(f"#{z} ({zone_totals[z]:,})" for z in busiest))
+
+
+if __name__ == "__main__":
+    main()

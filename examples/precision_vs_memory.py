@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Explore the paper's central trade-off: precision vs memory vs speed.
+
+Sweeps the precision bound of the approximate index over a polygon dataset
+and reports, for each setting: cell count, index size, probe throughput,
+and the *measured* worst-case false-positive distance (always below the
+bound — the guarantee of Section 3.2).  Also shows the accurate index
+(trained and untrained) as the low-memory alternative the paper recommends
+when the precision-bounded index does not fit the budget.
+
+Run:  python examples/precision_vs_memory.py
+"""
+
+import math
+import time
+
+import numpy as np
+
+from repro import PolygonIndex
+from repro.cells import cell_ids_from_lat_lng_arrays
+from repro.cells.metrics import EARTH_RADIUS_METERS
+from repro.datasets import polygon_dataset, taxi_points
+from repro.geo.pip import contains_points
+
+_METERS_PER_DEGREE = EARTH_RADIUS_METERS * math.pi / 180.0
+
+
+def false_positive_distance(polygon, lng: float, lat: float) -> float:
+    """Planar distance (meters) from a point to a polygon's boundary."""
+    x0, y0, x1, y1 = polygon.all_edges()
+    sx = math.cos(math.radians(lat)) * _METERS_PER_DEGREE
+    ax = (x0 - lng) * sx
+    ay = (y0 - lat) * _METERS_PER_DEGREE
+    bx = (x1 - lng) * sx
+    by = (y1 - lat) * _METERS_PER_DEGREE
+    dx, dy = bx - ax, by - ay
+    length_sq = dx * dx + dy * dy
+    t = np.clip(
+        np.where(length_sq > 0, -(ax * dx + ay * dy) / np.where(length_sq > 0, length_sq, 1), 0),
+        0.0,
+        1.0,
+    )
+    px, py = ax + t * dx, ay + t * dy
+    return float(np.sqrt(px * px + py * py).min())
+
+
+def main() -> None:
+    zones = polygon_dataset("neighborhoods")
+    lats, lngs = taxi_points(300_000, seed=5)
+    ids = cell_ids_from_lat_lng_arrays(lats, lngs)
+    truth = np.vstack([contains_points(p, lngs, lats) for p in zones])
+
+    print(f"{'mode':<22} {'cells':>9} {'MiB':>7} {'M pts/s':>8} "
+          f"{'FP pairs':>9} {'max FP dist':>12}")
+
+    for precision in (60.0, 15.0, 4.0):
+        index = PolygonIndex.build(zones, precision_meters=precision)
+        start = time.perf_counter()
+        result = index.join(lats, lngs, cell_ids=ids, materialize=True)
+        throughput = len(ids) / (time.perf_counter() - start) / 1e6
+        false_positives = [
+            (pt, pid)
+            for pt, pid in zip(result.pair_points, result.pair_polygons)
+            if not truth[pid, pt]
+        ]
+        worst = max(
+            (false_positive_distance(zones[pid], lngs[pt], lats[pt])
+             for pt, pid in false_positives),
+            default=0.0,
+        )
+        print(f"{'approx ' + format(precision, 'g') + 'm':<22} "
+              f"{index.num_cells:>9,} {index.size_bytes / 2**20:>7.1f} "
+              f"{throughput:>8.2f} {len(false_positives):>9,} {worst:>10.1f} m")
+
+    for label, train in (("accurate untrained", None), ("accurate trained", 100_000)):
+        kwargs = {}
+        if train:
+            hist_lats, hist_lngs = taxi_points(train, seed=2009)
+            kwargs["training_cell_ids"] = cell_ids_from_lat_lng_arrays(
+                hist_lats, hist_lngs
+            )
+        index = PolygonIndex.build(zones, **kwargs)
+        start = time.perf_counter()
+        result = index.join(lats, lngs, exact=True, cell_ids=ids)
+        throughput = len(ids) / (time.perf_counter() - start) / 1e6
+        assert (result.counts == truth.sum(axis=1)).all()
+        print(f"{label:<22} {index.num_cells:>9,} {index.size_bytes / 2**20:>7.1f} "
+              f"{throughput:>8.2f} {'0':>9} {'exact':>12}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""repro — Adaptive main-memory indexing for high-performance point-polygon joins.
+
+A from-scratch Python reproduction of Kipf et al., EDBT 2020: the Adaptive
+Cell Trie (ACT) polygon index, the approximate join with a user-defined
+precision bound, the accurate join with index training, all substrates
+(an S2-style hierarchical cell grid, a planar geometry kernel), and every
+baseline of the paper's evaluation.
+
+Quickstart::
+
+    import numpy as np
+    from repro import PolygonIndex, Polygon
+
+    zones = [Polygon([(-74.02, 40.70), (-73.98, 40.70),
+                      (-73.98, 40.74), (-74.02, 40.74)])]
+    index = PolygonIndex.build(zones, precision_meters=4.0)
+    result = index.join(np.array([40.72]), np.array([-74.0]))
+    print(result.counts)          # points per polygon
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the
+paper-versus-measured comparison.
+"""
+
+from repro.cells import CellId, LatLng, cell_ids_from_lat_lng_arrays
+from repro.cells.coverer import CovererOptions, RegionCoverer
+from repro.core import (
+    AdaptiveCellTrie,
+    CompressedCellTrie,
+    JoinResult,
+    LookupTable,
+    PolygonIndex,
+    PolygonRef,
+    SuperCovering,
+    accurate_join,
+    approximate_join,
+    build_super_covering,
+    load_index,
+    refine_to_precision,
+    save_index,
+    train_super_covering,
+)
+from repro.geo import Polygon, Rect, Ring, polygon_from_wkt, polygon_to_wkt
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CellId",
+    "LatLng",
+    "cell_ids_from_lat_lng_arrays",
+    "CovererOptions",
+    "RegionCoverer",
+    "AdaptiveCellTrie",
+    "CompressedCellTrie",
+    "JoinResult",
+    "LookupTable",
+    "PolygonIndex",
+    "PolygonRef",
+    "SuperCovering",
+    "accurate_join",
+    "approximate_join",
+    "build_super_covering",
+    "load_index",
+    "refine_to_precision",
+    "save_index",
+    "train_super_covering",
+    "Polygon",
+    "Rect",
+    "Ring",
+    "polygon_from_wkt",
+    "polygon_to_wkt",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""Experiment harness: one runner per table/figure of the paper.
+
+Each ``repro.bench.<experiment>`` module exposes ``run(workbench) ->
+ExperimentResult`` regenerating the corresponding table or figure series.
+``python -m repro.bench all`` runs the full evaluation and writes
+paper-style text tables plus CSVs under ``results/``.
+
+The :class:`~repro.bench.workbench.Workbench` caches polygon datasets,
+super coverings, and indexes across experiments, because the paper's
+evaluation reuses them the same way.
+"""
+
+from repro.bench.config import BenchConfig
+from repro.bench.workbench import Workbench
+from repro.bench.result import ExperimentResult
+
+__all__ = ["BenchConfig", "Workbench", "ExperimentResult"]

@@ -1,0 +1,81 @@
+"""CLI for the experiment harness.
+
+Usage::
+
+    python -m repro.bench all            # every table and figure
+    python -m repro.bench table1 fig7    # a subset
+    REPRO_BENCH=quick python -m repro.bench all   # smoke-scale run
+
+Results print as paper-style text tables and are also written to
+``results/<experiment>.txt`` and ``.csv``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.bench import fig7, fig8, fig9, fig10, fig11
+from repro.bench import table1, table2, table3, table4, table5, training_bench
+from repro.bench.config import BenchConfig
+from repro.bench.workbench import Workbench
+
+RUNNERS = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "table5": table5.run,
+    "table6": training_bench.run_table6,
+    "table7": training_bench.run_table7,
+    "fig7": fig7.run,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+    "fig10": fig10.run,
+    "fig11": fig11.run,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help=f"experiment ids ({', '.join(RUNNERS)}) or 'all'",
+    )
+    parser.add_argument("--quick", action="store_true", help="smoke-scale run")
+    parser.add_argument(
+        "--results-dir", default="results", help="output directory (default: results/)"
+    )
+    args = parser.parse_args(argv)
+
+    names = list(RUNNERS) if "all" in args.experiments else args.experiments
+    unknown = [name for name in names if name not in RUNNERS]
+    if unknown:
+        parser.error(f"unknown experiments: {', '.join(unknown)}")
+
+    config = BenchConfig.quick() if args.quick else BenchConfig.from_env()
+    workbench = Workbench(config)
+    results_dir = pathlib.Path(args.results_dir)
+    results_dir.mkdir(parents=True, exist_ok=True)
+
+    for name in names:
+        started = time.perf_counter()
+        for result in RUNNERS[name](workbench):
+            text = result.to_text()
+            print()
+            print(text)
+            (results_dir / f"{result.experiment_id}.txt").write_text(text + "\n")
+            (results_dir / f"{result.experiment_id}.csv").write_text(result.to_csv())
+        elapsed = time.perf_counter() - started
+        print(f"[{name} finished in {elapsed:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""Benchmark scales.
+
+The paper's full workloads (1.23 B taxi points, 39 k census polygons) are
+scaled to laptop size; every knob here can be raised toward paper scale.
+Two presets:
+
+* ``BenchConfig.quick()`` — seconds-per-experiment, for CI and smoke runs,
+* ``BenchConfig()`` (default) — minutes for the full suite on two cores,
+  the scale used for the committed EXPERIMENTS.md numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Scales and sweep parameters for the experiment runners."""
+
+    #: Taxi-analog probe points (paper: 1.23 B).
+    taxi_points: int = 1_000_000
+    #: Uniform synthetic probe points (paper: 100 M).
+    uniform_points: int = 500_000
+    #: Twitter-analog points for NYC; other cities scale relative (Fig. 9).
+    twitter_nyc_points: int = 400_000
+    #: Precision sweep in meters (Table 1, Fig. 7 middle, Fig. 9, Fig. 11).
+    precisions: tuple[float, ...] = (60.0, 15.0, 4.0)
+    #: Census polygon count (paper: 39,184; default here: 2,000).
+    census_polygons: int = 2000
+    #: Thread sweep for Fig. 7 (right); capped by the machine.
+    threads: tuple[int, ...] = (1, 2, 4, 8)
+    #: Training-point sweep for Tables 6/7 (paper: 100 K / 500 K / 1 M).
+    training_points: tuple[int, ...] = (100_000, 500_000, 1_000_000)
+    #: Points used against the slow filter-and-refine baselines (RT/PG).
+    slow_baseline_points: int = 100_000
+    #: GPU-substitute max texture size per rendering pass (Fig. 11).
+    max_texture: int = 1024
+    #: Base RNG seed for every generator.
+    seed: int = 42
+
+    @staticmethod
+    def quick() -> "BenchConfig":
+        """A configuration small enough for smoke tests."""
+        return BenchConfig(
+            taxi_points=100_000,
+            uniform_points=50_000,
+            twitter_nyc_points=50_000,
+            precisions=(60.0, 15.0),
+            census_polygons=400,
+            threads=(1, 2),
+            training_points=(10_000, 50_000),
+            slow_baseline_points=20_000,
+        )
+
+    @staticmethod
+    def from_env() -> "BenchConfig":
+        """``REPRO_BENCH=quick`` selects the smoke preset."""
+        if os.environ.get("REPRO_BENCH", "").lower() == "quick":
+            return BenchConfig.quick()
+        return BenchConfig()

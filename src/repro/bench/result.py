@@ -1,0 +1,40 @@
+"""Experiment result container shared by all runners."""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.util.tables import format_table
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table/figure: rows plus presentation metadata."""
+
+    experiment_id: str  # e.g. "table1", "fig7_left"
+    title: str
+    headers: Sequence[str]
+    rows: list[Sequence[object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        self.rows.append(list(cells))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def to_text(self) -> str:
+        body = format_table(self.headers, self.rows, title=self.title)
+        if self.notes:
+            body += "\n" + "\n".join(f"  note: {note}" for note in self.notes)
+        return body
+
+    def to_csv(self) -> str:
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.headers)
+        writer.writerows(self.rows)
+        return buffer.getvalue()

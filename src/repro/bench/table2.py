@@ -1,0 +1,28 @@
+"""Table 2: size and build time of the physical representations (4 m)."""
+
+from __future__ import annotations
+
+from repro.bench.measure import mib
+from repro.bench.result import ExperimentResult
+from repro.bench.workbench import POLYGON_DATASET_NAMES, STORE_FACTORIES, Workbench
+
+
+def run(workbench: Workbench) -> list[ExperimentResult]:
+    precision = min(workbench.config.precisions)
+    result = ExperimentResult(
+        experiment_id="table2",
+        title=f"Table 2: data structure metrics ({precision:g} m precision)",
+        headers=["dataset", "index", "size [MiB]", "build [s]"],
+    )
+    for name in POLYGON_DATASET_NAMES:
+        for kind in STORE_FACTORIES:
+            store = workbench.store(name, precision, kind)
+            result.add_row(
+                name,
+                kind,
+                round(mib(store.size_bytes), 2),
+                round(store.build_seconds, 3),
+            )
+    result.add_note("LB has no build time in the paper (the covering is pre-sorted); "
+                    "ours reports the array materialization cost")
+    return [result]

@@ -1,0 +1,36 @@
+"""Table 4: distribution of the ACT4 tree-traversal depth.
+
+Uniform points mostly end in upper levels (large cells sit near the
+root); taxi points' depth depends on the polygon dataset.
+"""
+
+from __future__ import annotations
+
+from repro.bench.result import ExperimentResult
+from repro.bench.workbench import POLYGON_DATASET_NAMES, Workbench
+
+
+def run(workbench: Workbench) -> list[ExperimentResult]:
+    precision = min(workbench.config.precisions)
+    result = ExperimentResult(
+        experiment_id="table4",
+        title=f"Table 4: ACT4 traversal depth distribution ({precision:g} m)",
+        headers=["points", "dataset", "avg depth"]
+        + [f"P(depth={d})" for d in range(1, 8)],
+    )
+    for points_name in ("uniform", "taxi"):
+        for name in POLYGON_DATASET_NAMES:
+            store = workbench.store(name, precision, "ACT4")
+            if points_name == "uniform":
+                _, _, ids = workbench.uniform(name)
+            else:
+                _, _, ids = workbench.taxi()
+            _, stats = store.probe_instrumented(ids)
+            histogram = stats.depth_histogram()
+            result.add_row(
+                points_name,
+                name,
+                round(stats.avg_depth, 2),
+                *[round(histogram.get(d, 0.0), 3) for d in range(1, 8)],
+            )
+    return [result]

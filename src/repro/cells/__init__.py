@@ -1,0 +1,48 @@
+"""Hierarchical cell grid substrate (from-scratch S2-library analog).
+
+The paper discretizes the Earth with the Google S2 library: a cube is
+projected onto the sphere, each of the six faces is split recursively into
+four quadrants (a quadtree, 30 levels deep), and the quadrants at each level
+are enumerated along a Hilbert space-filling curve so that every cell gets a
+64-bit id whose bit prefix encodes the path from the face root.  Child cells
+share their parent's prefix — the property the Adaptive Cell Trie indexes.
+
+This package re-implements that machinery from scratch:
+
+* :mod:`repro.cells.cellid` — the 64-bit cell id algebra,
+* :mod:`repro.cells.hilbert` — Hilbert-curve lookup tables (plus a Z-curve
+  alternative demonstrating curve independence),
+* :mod:`repro.cells.projections` — the quadratic cube projection,
+* :mod:`repro.cells.metrics` — level-to-meters metrics (precision bounds),
+* :mod:`repro.cells.cell` — cell geometry (corner/bounding rectangles),
+* :mod:`repro.cells.coverer` — polygon coverings and interior coverings,
+* :mod:`repro.cells.vectorized` — numpy batch lat/lng to cell-id conversion.
+"""
+
+from repro.cells.cellid import CellId, cell_difference
+from repro.cells.latlng import LatLng
+from repro.cells.metrics import (
+    EARTH_RADIUS_METERS,
+    MAX_LEVEL,
+    level_for_max_diag_meters,
+    max_diag_meters,
+    avg_area_sq_meters,
+)
+from repro.cells.cell import cell_bound_rect
+from repro.cells.coverer import CovererOptions, RegionCoverer
+from repro.cells.vectorized import cell_ids_from_lat_lng_arrays
+
+__all__ = [
+    "CellId",
+    "cell_difference",
+    "LatLng",
+    "EARTH_RADIUS_METERS",
+    "MAX_LEVEL",
+    "level_for_max_diag_meters",
+    "max_diag_meters",
+    "avg_area_sq_meters",
+    "cell_bound_rect",
+    "CovererOptions",
+    "RegionCoverer",
+    "cell_ids_from_lat_lng_arrays",
+]

@@ -1,0 +1,95 @@
+"""Cell geometry: conservative lat/lng bounding rectangles.
+
+The region coverer classifies cells against polygons via planar rectangle
+tests (DESIGN.md §1.3 item 1).  A cell's true region on the sphere has
+slightly curved edges when drawn in lat/lng space; the rectangle spanned by
+its four corners therefore under-covers the cell by up to the edge *bulge*.
+:func:`cell_bound_rect` compensates by expanding the corner rectangle by a
+conservative per-level bulge bound, so the returned rectangle always
+contains the true cell region.  The bulge of a (near-)great-circle arc of
+angular length ``theta`` relative to its chord is at most ``theta^2 / 8``
+radians; we double that for safety margin.
+
+This conservatism only ever *adds* cells to coverings (never correctness
+loss) and is negligible at the levels where precision bounds live: at level
+22 the pad is far below a millimeter.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.cells.cellid import CellId
+from repro.cells.metrics import EARTH_RADIUS_METERS, MAX_EDGE_DERIV
+from repro.geo.rect import Rect
+
+_METERS_PER_DEGREE = EARTH_RADIUS_METERS * math.pi / 180.0
+
+
+def edge_bulge_meters(level: int) -> float:
+    """Conservative bound on chord-vs-edge deviation for cells at ``level``."""
+    theta = MAX_EDGE_DERIV / (1 << level)  # max edge angular length (radians)
+    return 2.0 * (theta * theta / 8.0) * EARTH_RADIUS_METERS
+
+
+def cell_bound_rect(cell: CellId) -> Rect:
+    """A lat/lng rectangle guaranteed to contain the whole cell region."""
+    face, i, j = cell.to_face_ij()
+    return bound_rect_from_face_ij(face, i, j, cell.ij_size(), cell.level)
+
+
+# Inlined from repro.cells.projections for the hot descent paths.
+_MAX_SIZE = 1 << 30
+_ONE_THIRD = 1.0 / 3.0
+
+
+def _st_to_uv(s: float) -> float:
+    if s >= 0.5:
+        return _ONE_THIRD * (4.0 * s * s - 1.0)
+    return _ONE_THIRD * (1.0 - 4.0 * (1.0 - s) * (1.0 - s))
+
+
+def bound_rect_from_face_ij(face: int, i: int, j: int, size: int, level: int) -> Rect:
+    """Like :func:`cell_bound_rect`, from raw grid coordinates.
+
+    The recursive cell/polygon classifiers descend in (i, j) space, where
+    children are quadrant arithmetic; this helper turns a grid square into
+    its padded lat/lng bound without building ``CellId`` objects or
+    re-running the Hilbert walk (the hot path of precision refinement).
+    """
+    from repro.cells.projections import face_uv_to_xyz
+
+    min_lat = min_lng = math.inf
+    max_lat = max_lng = -math.inf
+    for di, dj in ((0, 0), (size, 0), (size, size), (0, size)):
+        u = _st_to_uv((i + di) / _MAX_SIZE)
+        v = _st_to_uv((j + dj) / _MAX_SIZE)
+        x, y, z = face_uv_to_xyz(face, u, v)
+        lat = math.degrees(math.atan2(z, math.hypot(x, y)))
+        lng = math.degrees(math.atan2(y, x))
+        min_lat = min(min_lat, lat)
+        max_lat = max(max_lat, lat)
+        min_lng = min(min_lng, lng)
+        max_lng = max(max_lng, lng)
+    # Conservative fallbacks for the two cases where corner extremes do not
+    # bound the cell: antimeridian-crossing cells (longitudes wrap) and
+    # pole-containing cells on the top/bottom faces.
+    if max_lng - min_lng > 180.0:
+        min_lng, max_lng = -180.0, 180.0
+    half_face = _MAX_SIZE // 2
+    if face in (2, 5) and i <= half_face <= i + size and j <= half_face <= j + size:
+        if face == 2:
+            max_lat = 90.0
+        else:
+            min_lat = -90.0
+        min_lng, max_lng = -180.0, 180.0
+    pad_meters = edge_bulge_meters(level)
+    pad_lat = pad_meters / _METERS_PER_DEGREE
+    max_abs_lat = min(89.9, max(abs(min_lat), abs(max_lat)) + pad_lat)
+    pad_lng = pad_lat / max(0.01, math.cos(math.radians(max_abs_lat)))
+    return Rect(
+        min_lng - pad_lng,
+        max_lng + pad_lng,
+        min_lat - pad_lat,
+        max_lat + pad_lat,
+    )

@@ -1,0 +1,163 @@
+"""Region coverer: approximate polygons by sets of hierarchical cells.
+
+This replaces the S2 ``RegionCoverer`` the paper uses to compute the two
+per-polygon inputs of the super covering (Section 2, Figure 2):
+
+* the **covering** — cells that together contain the whole polygon; a point
+  in a covering cell is either inside or near the polygon (candidate hits),
+* the **interior covering** — cells entirely inside the polygon; a point in
+  one is guaranteed inside (true hits, enabling true hit filtering).
+
+The algorithm mirrors S2's: a priority queue seeded with the six face
+cells, always subdividing the coarsest remaining cell into its intersecting
+children, until subdividing would exceed the ``max_cells`` budget or cells
+reach ``max_level``.  Cell/polygon classification is the conservative
+rectangle relation of :mod:`repro.geo.relation`: it may call a cell
+INTERSECTS when it is really disjoint (harmless) but never the converse,
+so coverings always cover and interior coverings are always interior.
+
+Coverings are returned *normalized*: sorted by id, duplicate-free, with no
+cell containing another, and with complete groups of four siblings merged
+into their parent.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.cells.cell import cell_bound_rect
+from repro.cells.cellid import NUM_FACES, CellId
+from repro.geo.polygon import Polygon
+from repro.geo.relation import Relation, rect_polygon_relation
+
+#: Default level cap: level 28 keeps every cell level expressible in all
+#: ACT fanout configurations (key extension needs ``level + delta <= 30``
+#: headroom, see repro.core.act) while still offering ~9 cm precision.
+DEFAULT_MAX_LEVEL = 28
+
+
+@dataclass(frozen=True)
+class CovererOptions:
+    """Knobs matching the paper's "Polygon Approximations" defaults."""
+
+    max_cells: int = 128
+    min_level: int = 0
+    max_level: int = DEFAULT_MAX_LEVEL
+
+    def __post_init__(self) -> None:
+        if self.max_cells < 4:
+            raise ValueError("max_cells must be at least 4")
+        if not 0 <= self.min_level <= self.max_level <= 30:
+            raise ValueError(
+                f"need 0 <= min_level <= max_level <= 30, got "
+                f"[{self.min_level}, {self.max_level}]"
+            )
+
+
+class RegionCoverer:
+    """Compute normalized (interior) coverings of polygons."""
+
+    def __init__(self, options: CovererOptions | None = None):
+        self.options = options or CovererOptions()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def covering(self, polygon: Polygon) -> list[CellId]:
+        """Cells that together contain every point of ``polygon``."""
+        return self._cover(polygon, interior=False)
+
+    def interior_covering(self, polygon: Polygon) -> list[CellId]:
+        """Cells lying entirely inside ``polygon`` (possibly empty)."""
+        return self._cover(polygon, interior=True)
+
+    # ------------------------------------------------------------------
+    # Implementation
+    # ------------------------------------------------------------------
+
+    def _cover(self, polygon: Polygon, interior: bool) -> list[CellId]:
+        opts = self.options
+        # Heap entries: (level, cell id, relation) — coarsest cells first so
+        # the budget is spent where subdividing refines the most area.
+        heap: list[tuple[int, int, Relation]] = []
+        result: list[CellId] = []
+        for face in range(NUM_FACES):
+            cell = CellId.face_cell(face)
+            relation = self._classify(cell, polygon)
+            if relation != Relation.DISJOINT:
+                heapq.heappush(heap, (0, cell.id, relation))
+        while heap:
+            level, raw_id, relation = heapq.heappop(heap)
+            cell = CellId(raw_id)
+            if relation == Relation.CONTAINED and level >= opts.min_level:
+                result.append(cell)
+                continue
+            if level >= opts.max_level:
+                if not interior:
+                    result.append(cell)
+                continue
+            if len(result) + len(heap) + 4 > opts.max_cells:
+                # Budget exhausted: stop refining.  Boundary cells join the
+                # covering (it must keep covering) but are dropped from an
+                # interior covering (it must stay interior).
+                if not interior:
+                    result.append(cell)
+                continue
+            for child in cell.children():
+                child_relation = self._classify(child, polygon)
+                if child_relation != Relation.DISJOINT:
+                    heapq.heappush(heap, (level + 1, child.id, child_relation))
+        return normalize_covering(result)
+
+    @staticmethod
+    def _classify(cell: CellId, polygon: Polygon) -> Relation:
+        return rect_polygon_relation(cell_bound_rect(cell), polygon)
+
+
+def normalize_covering(cells: list[CellId]) -> list[CellId]:
+    """Sort, deduplicate, drop covered cells, and merge sibling groups.
+
+    The result contains no two conflicting cells (neither contains the
+    other), matching the S2 notion of a *normalized* covering the paper
+    relies on for binary-search lookups.
+    """
+    ordered = sorted(set(cells), key=lambda c: c.id)
+    # Drop cells contained in another.  Cell ranges form a laminar family
+    # (nested or disjoint, never partially overlapping), so after sorting by
+    # id it suffices to compare each cell against the top of a stack: an
+    # ancestor whose id sorts earlier absorbs the new cell; a descendant
+    # whose id sorts earlier gets popped by its later-sorting ancestor.
+    pruned: list[CellId] = []
+    for cell in ordered:
+        if pruned and pruned[-1].contains(cell):
+            continue
+        while pruned and cell.contains(pruned[-1]):
+            pruned.pop()
+        pruned.append(cell)
+    # Iteratively merge complete sibling groups into parents.
+    merged = True
+    cells_now = pruned
+    while merged:
+        merged = False
+        next_cells: list[CellId] = []
+        index = 0
+        while index < len(cells_now):
+            cell = cells_now[index]
+            if (
+                cell.level > 0
+                and cell.child_position(cell.level) == 0
+                and index + 3 < len(cells_now)
+            ):
+                parent = cell.parent()
+                group = cells_now[index:index + 4]
+                if [c.id for c in group] == [ch.id for ch in parent.children()]:
+                    next_cells.append(parent)
+                    index += 4
+                    merged = True
+                    continue
+            next_cells.append(cell)
+            index += 1
+        cells_now = next_cells
+    return cells_now

@@ -1,0 +1,148 @@
+"""Hilbert space-filling curve lookup tables.
+
+Section 2 of the paper only requires the cell enumeration to satisfy one
+property: child cells must share a common bit prefix with their parent.
+Both the Hilbert curve (used by S2 and by our default grid) and the Z/Morton
+curve satisfy it.  We implement the Hilbert enumeration with lookup tables
+that translate 4 quadtree levels (8 bits) at a time, so bulk conversions
+vectorize well, and expose a Morton variant to demonstrate curve
+independence.
+
+The Hilbert curve at each node visits the four quadrants in an order that
+depends on the node's *orientation* (2 bits):
+
+* ``SWAP_MASK`` — the i and j axes are exchanged,
+* ``INVERT_MASK`` — the traversal direction of both axes is inverted.
+
+``POS_TO_IJ[orientation][position]`` maps a curve position (0-3) to the
+quadrant ``ij`` value (i in bit 1, j in bit 0); ``POS_TO_ORIENTATION``
+gives the orientation *modifier* a child inherits.
+
+Leaf conversions process i/j as 32-bit quantities in eight 4-bit chunks even
+though coordinates only have 30 bits: quadrant (0, 0) is visited first under
+both unswapped and swapped orientations, so the two leading zero levels
+contribute zero position bits and leave the orientation unchanged — the same
+trick the S2 library uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+LOOKUP_BITS = 4  # quadtree levels translated per table lookup
+SWAP_MASK = 0x01
+INVERT_MASK = 0x02
+
+MAX_LEVEL = 30
+
+POS_TO_IJ = (
+    (0, 1, 3, 2),  # canonical order
+    (0, 2, 3, 1),  # axes swapped
+    (3, 2, 0, 1),  # bits inverted
+    (3, 1, 0, 2),  # swapped & inverted
+)
+POS_TO_ORIENTATION = (SWAP_MASK, 0, 0, INVERT_MASK | SWAP_MASK)
+
+# IJ_TO_POS[orientation][ij] is the inverse permutation of POS_TO_IJ.
+IJ_TO_POS = tuple(tuple(row.index(ij) for ij in range(4)) for row in POS_TO_IJ)
+
+
+def _build_tables() -> tuple[np.ndarray, np.ndarray]:
+    """Generate the two 1024-entry translation tables.
+
+    ``lookup_pos[(ij << 2) | orientation]`` = ``(pos << 2) | new_orientation``
+    where ``ij`` interleaves 4 i-bits and 4 j-bits as ``iiiijjjj``.
+    ``lookup_ij`` is the inverse: position+orientation to ij+orientation.
+    """
+    lookup_pos = np.zeros(1 << (2 * LOOKUP_BITS + 2), dtype=np.uint16)
+    lookup_ij = np.zeros(1 << (2 * LOOKUP_BITS + 2), dtype=np.uint16)
+
+    def init_cell(level: int, i: int, j: int, orig_orientation: int,
+                  pos: int, orientation: int) -> None:
+        if level == LOOKUP_BITS:
+            ij = (i << LOOKUP_BITS) + j
+            lookup_pos[(ij << 2) + orig_orientation] = (pos << 2) + orientation
+            lookup_ij[(pos << 2) + orig_orientation] = (ij << 2) + orientation
+            return
+        r = POS_TO_IJ[orientation]
+        for index in range(4):
+            init_cell(
+                level + 1,
+                (i << 1) + (r[index] >> 1),
+                (j << 1) + (r[index] & 1),
+                orig_orientation,
+                (pos << 2) + index,
+                orientation ^ POS_TO_ORIENTATION[index],
+            )
+
+    for orientation in range(4):
+        init_cell(0, 0, 0, orientation, 0, orientation)
+    return lookup_pos, lookup_ij
+
+
+LOOKUP_POS, LOOKUP_IJ = _build_tables()
+
+_CHUNK_MASK = (1 << LOOKUP_BITS) - 1
+
+
+def leaf_pos_from_ij(face: int, i: int, j: int) -> int:
+    """Hilbert curve position (60 bits) of leaf coordinates on ``face``.
+
+    ``i`` and ``j`` are 30-bit integers.  Faces alternate their starting
+    orientation (odd faces start swapped) so the curve is continuous across
+    face boundaries.
+    """
+    pos = 0
+    orientation = face & SWAP_MASK
+    for k in range(7, -1, -1):
+        index = orientation
+        index += ((i >> (k * LOOKUP_BITS)) & _CHUNK_MASK) << (LOOKUP_BITS + 2)
+        index += ((j >> (k * LOOKUP_BITS)) & _CHUNK_MASK) << 2
+        looked = int(LOOKUP_POS[index])
+        pos |= (looked >> 2) << (k * 2 * LOOKUP_BITS)
+        orientation = looked & (SWAP_MASK | INVERT_MASK)
+    return pos & ((1 << 60) - 1)
+
+
+def ij_from_leaf_pos(face: int, pos: int) -> tuple[int, int, int]:
+    """Inverse of :func:`leaf_pos_from_ij`.
+
+    Returns ``(i, j, orientation)`` where ``orientation`` is the curve
+    orientation within the leaf cell.
+    """
+    i = 0
+    j = 0
+    orientation = face & SWAP_MASK
+    for k in range(7, -1, -1):
+        # The top chunk only has 2 meaningful quadtree levels (30 = 7*4 + 2).
+        nbits = MAX_LEVEL - 7 * LOOKUP_BITS if k == 7 else LOOKUP_BITS
+        index = orientation
+        index += ((pos >> (k * 2 * LOOKUP_BITS)) & ((1 << (2 * nbits)) - 1)) << 2
+        looked = int(LOOKUP_IJ[index])
+        i += (looked >> (LOOKUP_BITS + 2)) << (k * LOOKUP_BITS)
+        j += ((looked >> 2) & _CHUNK_MASK) << (k * LOOKUP_BITS)
+        orientation = looked & (SWAP_MASK | INVERT_MASK)
+    return i, j, orientation
+
+
+def leaf_pos_from_ij_morton(face: int, i: int, j: int) -> int:
+    """Z-order (Morton) alternative enumeration (curve independence)."""
+    del face  # the Z curve has no per-face orientation
+    pos = 0
+    for level in range(MAX_LEVEL):
+        shift = MAX_LEVEL - 1 - level
+        pos = (pos << 2) | ((((i >> shift) & 1) << 1) | ((j >> shift) & 1))
+    return pos
+
+
+def ij_from_leaf_pos_morton(face: int, pos: int) -> tuple[int, int, int]:
+    """Inverse of :func:`leaf_pos_from_ij_morton` (orientation always 0)."""
+    del face
+    i = 0
+    j = 0
+    for level in range(MAX_LEVEL):
+        shift = 2 * (MAX_LEVEL - 1 - level)
+        bits = (pos >> shift) & 3
+        i = (i << 1) | (bits >> 1)
+        j = (j << 1) | (bits & 1)
+    return i, j, 0

@@ -1,0 +1,104 @@
+"""Vectorized numpy conversions between lat/lng arrays and cell ids.
+
+The paper converts the 1.23 B taxi points to 64-bit cell ids before any
+experiment.  Doing that point-by-point in Python would dominate every
+benchmark, so this module re-implements the lat/lng -> leaf-cell-id pipeline
+(projection + Hilbert translation) over whole numpy arrays.  It produces
+bit-identical results to :meth:`repro.cells.cellid.CellId.from_lat_lng`
+(verified property-based in ``tests/test_vectorized.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cells.hilbert import LOOKUP_BITS, LOOKUP_POS, SWAP_MASK
+from repro.cells.projections import MAX_SIZE
+
+_POS_BITS = 61
+_CHUNK_MASK = (1 << LOOKUP_BITS) - 1
+_LOOKUP_POS_64 = LOOKUP_POS.astype(np.int64)
+
+
+def xyz_from_lat_lng(lats: np.ndarray, lngs: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Unit-sphere coordinates for degree arrays."""
+    phi = np.radians(lats)
+    theta = np.radians(lngs)
+    cos_phi = np.cos(phi)
+    return cos_phi * np.cos(theta), cos_phi * np.sin(theta), np.sin(phi)
+
+
+def face_uv_from_xyz(x: np.ndarray, y: np.ndarray, z: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized cube-face projection."""
+    ax = np.abs(x)
+    ay = np.abs(y)
+    az = np.abs(z)
+    face = np.where(
+        (ax >= ay) & (ax >= az),
+        np.where(x > 0, 0, 3),
+        np.where(ay >= az, np.where(y > 0, 1, 4), np.where(z > 0, 2, 5)),
+    ).astype(np.int64)
+    u = np.empty_like(x)
+    v = np.empty_like(x)
+    for f, (unum, uden, vnum, vden) in enumerate((
+        (y, x, z, x),        # face 0
+        (-x, y, z, y),       # face 1
+        (-x, z, -y, z),      # face 2
+        (z, x, y, x),        # face 3
+        (z, y, -x, y),       # face 4
+        (-y, z, -x, z),      # face 5
+    )):
+        sel = face == f
+        if np.any(sel):
+            u[sel] = unum[sel] / uden[sel]
+            v[sel] = vnum[sel] / vden[sel]
+    return face, u, v
+
+
+def st_from_uv(u: np.ndarray) -> np.ndarray:
+    """Vectorized quadratic uv -> st transform."""
+    # abs() keeps both sqrt arguments valid; the sign pick happens after.
+    root = 0.5 * np.sqrt(1.0 + 3.0 * np.abs(u))
+    return np.where(u >= 0.0, root, 1.0 - root)
+
+
+def ij_from_st(s: np.ndarray) -> np.ndarray:
+    """Vectorized discretization to leaf coordinates."""
+    ij = np.floor(s * MAX_SIZE).astype(np.int64)
+    return np.clip(ij, 0, MAX_SIZE - 1)
+
+
+def leaf_ids_from_face_ij(face: np.ndarray, i: np.ndarray, j: np.ndarray) -> np.ndarray:
+    """Vectorized Hilbert translation: (face, i, j) -> leaf cell ids.
+
+    Mirrors the 8-chunk table walk of ``hilbert.leaf_pos_from_ij`` with a
+    table gather per chunk.  All intermediate math runs in int64 (positions
+    use at most 60 bits) and the final assembly switches to uint64.
+    """
+    face = np.asarray(face, dtype=np.int64)
+    i = np.asarray(i, dtype=np.int64)
+    j = np.asarray(j, dtype=np.int64)
+    pos = np.zeros(face.shape, dtype=np.int64)
+    bits = face & SWAP_MASK
+    for k in range(7, -1, -1):
+        index = bits
+        index = index + (((i >> (k * LOOKUP_BITS)) & _CHUNK_MASK) << (LOOKUP_BITS + 2))
+        index = index + (((j >> (k * LOOKUP_BITS)) & _CHUNK_MASK) << 2)
+        looked = _LOOKUP_POS_64[index]
+        pos |= (looked >> 2) << (k * 2 * LOOKUP_BITS)
+        bits = looked & 3
+    ids = (face.astype(np.uint64) << np.uint64(_POS_BITS)) \
+        | (pos.astype(np.uint64) << np.uint64(1)) \
+        | np.uint64(1)
+    return ids
+
+
+def cell_ids_from_lat_lng_arrays(lats: np.ndarray, lngs: np.ndarray) -> np.ndarray:
+    """Leaf cell ids (uint64) for parallel lat/lng degree arrays."""
+    lats = np.asarray(lats, dtype=np.float64)
+    lngs = np.asarray(lngs, dtype=np.float64)
+    x, y, z = xyz_from_lat_lng(lats, lngs)
+    face, u, v = face_uv_from_xyz(x, y, z)
+    i = ij_from_st(st_from_uv(u))
+    j = ij_from_st(st_from_uv(v))
+    return leaf_ids_from_face_ij(face, i, j)

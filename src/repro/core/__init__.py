@@ -1,0 +1,43 @@
+"""The paper's primary contribution.
+
+* :mod:`repro.core.refs` — polygon references (id + interior flag),
+* :mod:`repro.core.super_covering` — the holistic multi-polygon covering
+  with precision-preserving conflict resolution (Listing 1),
+* :mod:`repro.core.lookup_table` — deduplicated reference-list storage,
+* :mod:`repro.core.act` — the Adaptive Cell Trie (ACT) radix tree,
+* :mod:`repro.core.precision` — precision-bound refinement (Section 3.2),
+* :mod:`repro.core.training` — adapting the index to historical points
+  (Section 3.3.1),
+* :mod:`repro.core.joins` — the approximate and accurate join algorithms
+  (Listing 3),
+* :mod:`repro.core.builder` — the high-level :class:`PolygonIndex` facade.
+"""
+
+from repro.core.refs import PolygonRef, merge_refs
+from repro.core.lookup_table import LookupTable
+from repro.core.super_covering import SuperCovering, build_super_covering
+from repro.core.act import AdaptiveCellTrie
+from repro.core.act_compressed import CompressedCellTrie
+from repro.core.precision import refine_to_precision
+from repro.core.training import train_super_covering
+from repro.core.joins import JoinResult, approximate_join, accurate_join
+from repro.core.builder import PolygonIndex
+from repro.core.serialize import load_index, save_index
+
+__all__ = [
+    "PolygonRef",
+    "merge_refs",
+    "LookupTable",
+    "SuperCovering",
+    "build_super_covering",
+    "AdaptiveCellTrie",
+    "CompressedCellTrie",
+    "refine_to_precision",
+    "train_super_covering",
+    "JoinResult",
+    "approximate_join",
+    "accurate_join",
+    "PolygonIndex",
+    "save_index",
+    "load_index",
+]

@@ -1,0 +1,380 @@
+"""The Adaptive Cell Trie (ACT): a radix tree over 64-bit cell ids.
+
+ACT is the paper's core data structure (Section 3.1.2).  It indexes the
+disjoint cells of a super covering so that, given the leaf cell id of a
+query point, the unique covering cell containing it (if any) is found with
+at most ``ceil(60 / fanout_bits)`` node accesses and **no key comparisons**.
+
+Design points reproduced from the paper:
+
+* **Configurable fanout** — ``fanout_bits`` of 2/4/8 bits per tree level
+  correspond to 1/2/4 quadtree levels (the paper's ACT1/ACT2/ACT4).
+* **Key extension** — a cell whose level is not a multiple of the per-level
+  granularity ``delta`` is replaced by all descendants at the next multiple,
+  replicating its payload.  Every node then holds cells of one level only,
+  and a lookup within a node is a single offset access.
+* **Combined pointer/value slots** — because super-covering cells are
+  disjoint, a slot never needs both a child pointer and a value; 2 tag bits
+  in each 8-byte slot distinguish pointer / one inlined reference / two
+  inlined references / lookup-table offset (see repro.core.lookup_table).
+* **Sentinel** — empty slots hold the zero entry, a "pointer to the
+  sentinel node", so the probe loop needs no emptiness branch.
+* **Root-level common prefix** — each face tree skips the levels all its
+  keys share; a probe first verifies the skipped bits.
+* **Face trees** — up to six trees, selected by the top 3 id bits.
+
+The node pool is a single numpy ``uint64`` array (node = ``fanout``
+consecutive slots), which makes the probe a level-synchronous gather loop
+over whole query batches and makes the modeled memory footprint (what the
+C++ original would allocate) exact: ``num_nodes * fanout * 8`` bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cells.cellid import MAX_LEVEL, NUM_FACES, CellId
+from repro.core.lookup_table import LookupTable, TAG_POINTER
+from repro.core.refs import PolygonRef
+from repro.core.super_covering import SuperCovering
+from repro.util.timing import Timer
+
+#: Bit position of the face field inside a cell id.
+_FACE_SHIFT = 61
+
+
+@dataclass
+class ProbeStats:
+    """Instrumentation captured by :meth:`AdaptiveCellTrie.probe_instrumented`."""
+
+    depths: np.ndarray  # node accesses per point (0 = rejected by prefix)
+    node_accesses: int = 0
+    prefix_rejections: int = 0
+
+    def depth_histogram(self) -> dict[int, float]:
+        """Fraction of probes ending after each number of node accesses."""
+        total = len(self.depths)
+        if total == 0:
+            return {}
+        values, counts = np.unique(self.depths, return_counts=True)
+        return {int(v): float(c) / total for v, c in zip(values, counts)}
+
+    @property
+    def avg_depth(self) -> float:
+        return float(self.depths.mean()) if len(self.depths) else 0.0
+
+
+@dataclass
+class _FaceTree:
+    root_base: int  # slot base of the root node
+    prefix_shift: int  # query bits above this must equal prefix_value
+    prefix_value: int
+    prefix_depth: int  # ACT levels skipped by the common prefix
+
+
+class AdaptiveCellTrie:
+    """An immutable radix tree built from a super covering.
+
+    Parameters
+    ----------
+    super_covering:
+        The disjoint cell/reference mapping to index.
+    fanout_bits:
+        Bits consumed per tree level: 2, 4 or 8 (ACT1 / ACT2 / ACT4).
+    lookup_table:
+        Optionally share a pre-existing lookup table (the paper uses the
+        same table for every physical representation it compares).
+    """
+
+    #: Paper names for the supported configurations.
+    VARIANTS = {"ACT1": 2, "ACT2": 4, "ACT4": 8}
+
+    def __init__(
+        self,
+        super_covering: SuperCovering,
+        fanout_bits: int = 8,
+        lookup_table: LookupTable | None = None,
+    ):
+        if fanout_bits not in (2, 4, 8):
+            raise ValueError("fanout_bits must be 2, 4, or 8")
+        self.fanout_bits = fanout_bits
+        self.delta = fanout_bits // 2  # quadtree levels per tree level
+        self.fanout = 1 << fanout_bits
+        self.lookup_table = lookup_table if lookup_table is not None else LookupTable()
+        self._face_trees: dict[int, _FaceTree] = {}
+        self._face_values: dict[int, int] = {}  # face -> tagged entry (level-0 cells)
+        self.num_keys = 0  # cells after key extension
+        self.num_input_cells = super_covering.num_cells
+        with Timer() as timer:
+            self._build(super_covering)
+        self.build_seconds = timer.seconds
+
+    # ------------------------------------------------------------------
+    # Build
+    # ------------------------------------------------------------------
+
+    def _extended_level(self, level: int) -> int:
+        """Key extension target: next multiple of delta at or above level."""
+        remainder = level % self.delta
+        return level if remainder == 0 else level + (self.delta - remainder)
+
+    def _build(self, super_covering: SuperCovering) -> None:
+        """Vectorized construction: key extension, node discovery, and slot
+        filling all run as numpy passes over flat key arrays."""
+        delta = self.delta
+        key_ids, key_entries, value_depths = self._extend_keys(super_covering)
+        self.num_keys = len(key_ids)
+        self._max_value_depth = int(value_depths.max()) if len(value_depths) else 0
+        if self.num_keys == 0:
+            self.num_nodes = 0
+            self.pool = np.zeros(self.fanout, dtype=np.uint64)
+            return
+
+        faces = (key_ids >> np.uint64(_FACE_SHIFT)).astype(np.int64)
+        fanout = self.fanout
+        max_depth = self._max_value_depth
+        # Discover nodes: at depth d, one node per distinct prefix of the
+        # keys whose value sits deeper than d (prefix = id bits above the
+        # slot consumed at depth d+1).  Prefixes include the face bits, so
+        # all faces share the per-depth tables.
+        depth_prefixes: list[np.ndarray] = []
+        depth_bases: list[int] = []
+        next_base = fanout  # node 0 is the sentinel
+        for depth in range(max_depth):
+            sel = value_depths > depth
+            shift = np.uint64(_FACE_SHIFT - 2 * delta * depth)
+            prefixes = np.unique(key_ids[sel] >> shift)
+            depth_prefixes.append(prefixes)
+            depth_bases.append(next_base)
+            next_base += len(prefixes) * fanout
+
+        self.num_nodes = (next_base - fanout) // fanout
+        pool = np.zeros(next_base, dtype=np.uint64)
+
+        def node_base(depth: int, prefixes: np.ndarray) -> np.ndarray:
+            """Slot bases of the nodes with the given depth-``depth`` prefixes."""
+            index = np.searchsorted(depth_prefixes[depth], prefixes)
+            return depth_bases[depth] + index.astype(np.int64) * fanout
+
+        slot_mask = np.uint64(fanout - 1)
+        # Child pointers: each depth-(d+1) node plugs into its parent.
+        for depth in range(1, max_depth):
+            child_prefixes = depth_prefixes[depth]
+            parent_prefixes = child_prefixes >> np.uint64(2 * delta)
+            slots = (child_prefixes & slot_mask).astype(np.int64)
+            parents = node_base(depth - 1, parent_prefixes)
+            child_bases = depth_bases[depth] + np.arange(len(child_prefixes)) * fanout
+            pool[parents + slots] = (child_bases.astype(np.uint64)) << np.uint64(2)
+        # Values: a key with value depth dv occupies a slot of its
+        # depth-(dv-1) node.
+        for depth in range(1, max_depth + 1):
+            sel = value_depths == depth
+            if not np.any(sel):
+                continue
+            ids = key_ids[sel]
+            shift = np.uint64(_FACE_SHIFT - 2 * delta * depth)
+            slots = ((ids >> shift) & slot_mask).astype(np.int64)
+            parent_prefixes = ids >> np.uint64(shift + np.uint64(2 * delta))
+            parents = node_base(depth - 1, parent_prefixes)
+            pool[parents + slots] = key_entries[sel]
+        self.pool = pool
+
+        # Per-face roots and common prefixes: skip single-child chains above
+        # the shallowest value.
+        for face in range(6):
+            face_sel = faces == face
+            if not np.any(face_sel):
+                continue
+            min_value_depth = int(value_depths[face_sel].min())
+            face_prefix = np.uint64(face)
+            prefix_depth = 0
+            for depth in range(1, min_value_depth):
+                shift = np.uint64(_FACE_SHIFT - 2 * delta * depth)
+                candidates = np.unique(key_ids[face_sel] >> shift)
+                if len(candidates) != 1:
+                    break
+                face_prefix = candidates[0]
+                prefix_depth = depth
+            root = node_base(prefix_depth, np.asarray([face_prefix], dtype=np.uint64))
+            self._face_trees[face] = _FaceTree(
+                root_base=int(root[0]),
+                prefix_shift=_FACE_SHIFT - 2 * delta * prefix_depth,
+                prefix_value=int(face_prefix),
+                prefix_depth=prefix_depth,
+            )
+
+    def _extend_keys(
+        self, super_covering: SuperCovering
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Encode entries and apply key extension, fully vectorized.
+
+        Returns ``(key ids, tagged entries, value depths)`` where the value
+        depth of a key at (extended) level L is ``L / delta``.
+        """
+        delta = self.delta
+        raw = super_covering.raw_items()
+        count = len(raw)
+        ids = np.fromiter(raw.keys(), dtype=np.uint64, count=count)
+        entry_cache: dict[tuple, int] = {}
+        entries = np.empty(count, dtype=np.uint64)
+        for index, (raw_id, refs) in enumerate(raw.items()):
+            entry = entry_cache.get(refs)
+            if entry is None:
+                entry = self.lookup_table.encode(refs)
+                entry_cache[refs] = entry
+            entries[index] = entry
+        # Levels from the trailing marker bit.
+        lsb = ids & (~ids + np.uint64(1))
+        lsb_pos = np.zeros(count, dtype=np.int64)
+        tmp = lsb.copy()
+        for shift in (32, 16, 8, 4, 2, 1):
+            high = tmp >= (np.uint64(1) << np.uint64(shift))
+            lsb_pos[high] += shift
+            tmp[high] >>= np.uint64(shift)
+        levels = MAX_LEVEL - lsb_pos // 2
+        if np.any(levels < 0):
+            raise ValueError("invalid cell id in super covering")
+        remainders = levels % delta
+        targets = levels + np.where(remainders > 0, delta - remainders, 0)
+        if int(targets.max(initial=0)) > MAX_LEVEL:
+            bad_level = int(levels[targets > MAX_LEVEL][0])
+            raise ValueError(
+                f"cell at level {bad_level} cannot be key-extended to a multiple "
+                f"of {delta} within {MAX_LEVEL} levels; cap covering max_level at "
+                f"{MAX_LEVEL - delta + 1} or below for this fanout"
+            )
+        # Face-level cells (level 0) are handled outside the node pool.
+        face_level = levels == 0
+        if np.any(face_level):
+            for raw_id, entry in zip(ids[face_level], entries[face_level]):
+                self._face_values[int(raw_id) >> _FACE_SHIFT] = int(entry)
+            keep = ~face_level
+            ids, entries, levels, targets, lsb = (
+                ids[keep], entries[keep], levels[keep], targets[keep], lsb[keep]
+            )
+        # Key extension: a cell at level L with target T > L becomes the
+        # 4^(T-L) descendants at level T; descendant k's id is
+        # id - lsb + lsb' + 2 * lsb' * k   with lsb' = 1 << (2*(30-T)).
+        expansion = np.left_shift(np.int64(1), 2 * (targets - levels)).astype(np.int64)
+        total = int(expansion.sum())
+        out_ids = np.repeat(ids, expansion)
+        out_entries = np.repeat(entries, expansion)
+        out_depths = np.repeat((targets // delta).astype(np.int64), expansion)
+        new_lsb = np.uint64(1) << (np.uint64(2) * (np.uint64(MAX_LEVEL) - targets.astype(np.uint64)))
+        base = ids - lsb + new_lsb  # descendant 0
+        out_base = np.repeat(base, expansion)
+        out_step = np.repeat(np.uint64(2) * new_lsb, expansion)
+        # Per-key descendant counter 0..expansion-1.
+        starts = np.cumsum(expansion) - expansion
+        counter = np.arange(total, dtype=np.int64) - np.repeat(starts, expansion)
+        out_ids = out_base + out_step * counter.astype(np.uint64)
+        return out_ids, out_entries, out_depths
+
+    # ------------------------------------------------------------------
+    # Probe
+    # ------------------------------------------------------------------
+
+    def probe(self, query_ids: np.ndarray) -> np.ndarray:
+        """Tagged entries for a batch of leaf cell ids (0 = false hit).
+
+        This is Listing 2 of the paper, vectorized: per level, one gather
+        from the node pool resolves every still-active query.
+        """
+        entries, _ = self._probe_impl(query_ids, instrument=False)
+        return entries
+
+    def probe_instrumented(self, query_ids: np.ndarray) -> tuple[np.ndarray, ProbeStats]:
+        """Like :meth:`probe` but also reporting traversal statistics."""
+        return self._probe_impl(query_ids, instrument=True)
+
+    def _probe_impl(
+        self, query_ids: np.ndarray, instrument: bool
+    ) -> tuple[np.ndarray, ProbeStats]:
+        query_ids = np.ascontiguousarray(query_ids, dtype=np.uint64)
+        out = np.zeros(len(query_ids), dtype=np.uint64)
+        depths = np.zeros(len(query_ids), dtype=np.int16) if instrument else None
+        node_accesses = 0
+        prefix_rejections = 0
+        faces = (query_ids >> np.uint64(_FACE_SHIFT)).astype(np.int64)
+        for face, tree in self._face_trees.items():
+            face_idx = np.nonzero(faces == face)[0]
+            if face_idx.size == 0:
+                continue
+            sub = query_ids[face_idx]
+            ok = (sub >> np.uint64(tree.prefix_shift)) == np.uint64(tree.prefix_value)
+            if instrument:
+                prefix_rejections += int(face_idx.size - np.count_nonzero(ok))
+            active_idx = face_idx[ok]
+            active_ids = sub[ok]
+            current = np.full(active_idx.size, tree.root_base, dtype=np.uint64)
+            depth = tree.prefix_depth
+            # A value at tree depth d is read while iterating at depth d-1,
+            # so _max_value_depth bounds the loop; the shift stays >= 1
+            # because d * delta <= 30.
+            max_depth = self._max_value_depth
+            while active_idx.size and depth < max_depth:
+                shift = _FACE_SHIFT - 2 * self.delta * (depth + 1)
+                bits = (active_ids >> np.uint64(shift)) & np.uint64(self.fanout - 1)
+                entries = self.pool[current + bits]
+                if instrument:
+                    node_accesses += int(active_idx.size)
+                    depths[active_idx] += 1
+                is_value = (entries & np.uint64(3)) != np.uint64(TAG_POINTER)
+                if np.any(is_value):
+                    out[active_idx[is_value]] = entries[is_value]
+                descend = (~is_value) & (entries != np.uint64(0))
+                active_idx = active_idx[descend]
+                active_ids = active_ids[descend]
+                current = entries[descend] >> np.uint64(2)
+                depth += 1
+        for face, entry in self._face_values.items():
+            sel = faces == face
+            out[sel] = np.uint64(entry)
+        stats = ProbeStats(
+            depths=depths if instrument else np.zeros(0, dtype=np.int16),
+            node_accesses=node_accesses,
+            prefix_rejections=prefix_rejections,
+        )
+        return out, stats
+
+    def probe_one(self, query_id: int) -> tuple[PolygonRef, ...]:
+        """Scalar convenience probe returning decoded references."""
+        entry = int(self.probe(np.asarray([query_id], dtype=np.uint64))[0])
+        if entry == 0:
+            return ()
+        return self.lookup_table.decode_entry(entry)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return f"ACT{self.delta}"
+
+    @property
+    def size_bytes(self) -> int:
+        """Modeled C++ footprint: node pool (incl. sentinel) + lookup table."""
+        return int(self.pool.nbytes) + self.lookup_table.size_bytes
+
+    def node_occupancy(self) -> float:
+        """Fraction of non-empty slots across all real nodes."""
+        if self.num_nodes == 0:
+            return 0.0
+        body = self.pool[self.fanout:]
+        return float(np.count_nonzero(body)) / len(body)
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "variant": self.name,
+            "fanout": self.fanout,
+            "num_input_cells": self.num_input_cells,
+            "num_keys": self.num_keys,
+            "num_nodes": self.num_nodes,
+            "size_bytes": self.size_bytes,
+            "build_seconds": self.build_seconds,
+            "occupancy": self.node_occupancy(),
+            "faces": sorted(self._face_trees),
+        }

@@ -1,0 +1,302 @@
+"""High-level facade: build a polygon index and join points against it.
+
+:class:`PolygonIndex` wires the whole pipeline together:
+
+1. compute per-polygon coverings and interior coverings (S2-analog coverer),
+2. merge them into a super covering (precision-preserving conflict
+   resolution),
+3. optionally refine boundary cells to a precision bound (approximate mode)
+   and/or train with historical points (accurate mode),
+4. index the cells in an Adaptive Cell Trie — or any alternative cell store
+   supplied via ``store_factory`` (B-tree, sorted vector, ...), which is how
+   the evaluation swaps physical representations.
+
+Typical usage::
+
+    index = PolygonIndex.build(polygons, precision_meters=4.0)
+    result = index.join(lats, lngs)                  # approximate
+    result = index.join(lats, lngs, exact=True)      # accurate
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.cells.coverer import CovererOptions, RegionCoverer
+from repro.cells.vectorized import cell_ids_from_lat_lng_arrays
+from repro.core.act import AdaptiveCellTrie
+from repro.core.joins import (
+    JoinResult,
+    accurate_join,
+    approximate_join,
+    parallel_count_join,
+)
+from repro.core.lookup_table import LookupTable
+from repro.core.precision import refine_to_precision
+from repro.core.refs import validate_polygon_id
+from repro.core.super_covering import SuperCovering, build_super_covering
+from repro.core.training import TrainingReport, train_super_covering
+from repro.geo.polygon import Polygon
+from repro.util.timing import Timer
+
+#: The paper's default configuration for individual polygon approximations
+#: (Section 4, "Polygon Approximations"), with levels capped at 28 so key
+#: extension works for every fanout (see repro.cells.coverer).
+DEFAULT_COVERING_OPTIONS = CovererOptions(max_cells=128, max_level=28)
+DEFAULT_INTERIOR_OPTIONS = CovererOptions(max_cells=256, max_level=20)
+
+
+@dataclass
+class BuildTimings:
+    """Build-phase timing breakdown (reported in the paper's Table 1)."""
+
+    individual_coverings_seconds: float = 0.0
+    super_covering_seconds: float = 0.0
+    refinement_seconds: float = 0.0
+    training_seconds: float = 0.0
+    store_build_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.individual_coverings_seconds
+            + self.super_covering_seconds
+            + self.refinement_seconds
+            + self.training_seconds
+            + self.store_build_seconds
+        )
+
+
+class PolygonIndex:
+    """An immutable point-polygon join index over a set of polygons."""
+
+    def __init__(
+        self,
+        polygons: Sequence[Polygon],
+        super_covering: SuperCovering,
+        store: object,
+        lookup_table: LookupTable,
+        timings: BuildTimings,
+        precision_meters: float | None,
+        training_report: TrainingReport | None,
+    ):
+        self.polygons = list(polygons)
+        self.super_covering = super_covering
+        self.store = store
+        self.lookup_table = lookup_table
+        self.timings = timings
+        self.precision_meters = precision_meters
+        self.training_report = training_report
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        polygons: Sequence[Polygon],
+        *,
+        precision_meters: float | None = None,
+        fanout_bits: int = 8,
+        covering_options: CovererOptions = DEFAULT_COVERING_OPTIONS,
+        interior_options: CovererOptions = DEFAULT_INTERIOR_OPTIONS,
+        training_cell_ids: np.ndarray | None = None,
+        training_max_cells: int | None = None,
+        store_factory: Callable[[SuperCovering, LookupTable], object] | None = None,
+    ) -> "PolygonIndex":
+        """Build an index.
+
+        Parameters
+        ----------
+        precision_meters:
+            If given, boundary cells are refined until any false positive of
+            the approximate join lies within this distance of its polygon.
+        training_cell_ids:
+            Historical point cell ids used to adapt the index to the
+            expected query distribution (accurate mode, Section 3.3.1).
+        store_factory:
+            Alternative physical representation; defaults to ACT with
+            ``fanout_bits`` bits per level.
+        """
+        for pid in range(len(polygons)):
+            validate_polygon_id(pid)
+        covering_coverer = RegionCoverer(covering_options)
+        interior_coverer = RegionCoverer(interior_options)
+        with Timer() as cover_timer:
+            per_polygon = [
+                (
+                    pid,
+                    covering_coverer.covering(polygon),
+                    interior_coverer.interior_covering(polygon),
+                )
+                for pid, polygon in enumerate(polygons)
+            ]
+        with Timer() as merge_timer:
+            super_covering = build_super_covering(per_polygon)
+        timings = BuildTimings(
+            individual_coverings_seconds=cover_timer.seconds,
+            super_covering_seconds=merge_timer.seconds,
+        )
+        if precision_meters is not None:
+            with Timer() as refine_timer:
+                refine_to_precision(super_covering, polygons, precision_meters)
+            timings.refinement_seconds = refine_timer.seconds
+        training_report = None
+        if training_cell_ids is not None:
+            with Timer() as train_timer:
+                training_report = train_super_covering(
+                    super_covering,
+                    polygons,
+                    training_cell_ids,
+                    max_cells=training_max_cells,
+                )
+            timings.training_seconds = train_timer.seconds
+        lookup_table = LookupTable()
+        with Timer() as store_timer:
+            if store_factory is None:
+                store = AdaptiveCellTrie(
+                    super_covering, fanout_bits=fanout_bits, lookup_table=lookup_table
+                )
+            else:
+                store = store_factory(super_covering, lookup_table)
+        timings.store_build_seconds = store_timer.seconds
+        return cls(
+            polygons,
+            super_covering,
+            store,
+            lookup_table,
+            timings,
+            precision_meters,
+            training_report,
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def cell_ids_for(self, lats: np.ndarray, lngs: np.ndarray) -> np.ndarray:
+        """Leaf cell ids for point arrays (the paper's preprocessing step)."""
+        return cell_ids_from_lat_lng_arrays(lats, lngs)
+
+    def join(
+        self,
+        lats: np.ndarray,
+        lngs: np.ndarray,
+        *,
+        exact: bool = False,
+        materialize: bool = False,
+        cell_ids: np.ndarray | None = None,
+        num_threads: int = 1,
+    ) -> JoinResult:
+        """Join points against the indexed polygons.
+
+        ``exact=False`` runs the approximate join (no PIP tests, false
+        positives bounded by the build-time precision bound);
+        ``exact=True`` runs the accurate join with a refinement phase.
+        """
+        lats = np.asarray(lats, dtype=np.float64)
+        lngs = np.asarray(lngs, dtype=np.float64)
+        if cell_ids is None:
+            cell_ids = self.cell_ids_for(lats, lngs)
+        if num_threads > 1:
+            return parallel_count_join(
+                self.store,
+                self.lookup_table,
+                cell_ids,
+                len(self.polygons),
+                num_threads,
+                polygons=self.polygons if exact else None,
+                lngs=lngs if exact else None,
+                lats=lats if exact else None,
+            )
+        if exact:
+            return accurate_join(
+                self.store,
+                self.lookup_table,
+                cell_ids,
+                self.polygons,
+                lngs,
+                lats,
+                materialize=materialize,
+            )
+        return approximate_join(
+            self.store,
+            self.lookup_table,
+            cell_ids,
+            len(self.polygons),
+            materialize=materialize,
+        )
+
+    def containing_polygons(self, lat: float, lng: float, exact: bool = True) -> list[int]:
+        """Polygon ids covering a single point (scalar convenience query)."""
+        result = self.join(
+            np.asarray([lat]), np.asarray([lng]), exact=exact, materialize=True
+        )
+        assert result.pair_polygons is not None
+        return sorted(int(p) for p in result.pair_polygons)
+
+    # ------------------------------------------------------------------
+    # Updates (the paper's future-work path, Section 3.1.2)
+    # ------------------------------------------------------------------
+
+    def add_polygon(self, polygon: Polygon) -> int:
+        """Add a polygon by inserting its cells one-by-one, then re-index.
+
+        The paper notes that runtime insertion follows the same procedure
+        as the build phase; we reproduce that path (and rebuild the static
+        trie, as the paper's ACT is immutable once built).  Returns the new
+        polygon id.
+        """
+        new_pid = validate_polygon_id(len(self.polygons))
+        covering = RegionCoverer(DEFAULT_COVERING_OPTIONS).covering(polygon)
+        interior = RegionCoverer(DEFAULT_INTERIOR_OPTIONS).interior_covering(polygon)
+        self.super_covering.insert_covering(new_pid, covering, interior)
+        self.polygons.append(polygon)
+        if self.precision_meters is not None:
+            refine_to_precision(
+                self.super_covering, self.polygons, self.precision_meters
+            )
+        self._rebuild_store()
+        return new_pid
+
+    def _rebuild_store(self) -> None:
+        if not isinstance(self.store, AdaptiveCellTrie):
+            raise NotImplementedError(
+                "polygon insertion is only wired up for the ACT store"
+            )
+        self.lookup_table = LookupTable()
+        self.store = AdaptiveCellTrie(
+            self.super_covering,
+            fanout_bits=self.store.fanout_bits,
+            lookup_table=self.lookup_table,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_cells(self) -> int:
+        return self.super_covering.num_cells
+
+    @property
+    def size_bytes(self) -> int:
+        size = getattr(self.store, "size_bytes", None)
+        return int(size) if size is not None else 0
+
+    def describe(self) -> dict[str, object]:
+        info: dict[str, object] = {
+            "num_polygons": len(self.polygons),
+            "num_cells": self.num_cells,
+            "precision_meters": self.precision_meters,
+            "size_bytes": self.size_bytes,
+            "build_seconds": self.timings.total_seconds,
+        }
+        describe = getattr(self.store, "describe", None)
+        if callable(describe):
+            info["store"] = describe()
+        return info

@@ -1,0 +1,136 @@
+"""Deduplicated polygon-reference lists and tagged-entry encoding.
+
+Every super-covering cell maps to a set of polygon references.  The
+Adaptive Cell Trie (and all the alternative cell stores) represent that set
+as a single 64-bit *tagged entry* whose two least-significant bits select
+among four cases (Section 3.1.2 of the paper):
+
+===  =============================================================
+tag  meaning
+===  =============================================================
+0    pointer to a child node (``0`` itself is the sentinel = miss)
+1    one inlined polygon reference (31-bit packed value)
+2    two inlined polygon references (2 x 31-bit packed values)
+3    offset into the lookup table (three or more references)
+===  =============================================================
+
+The lookup table itself is one flat ``uint32`` array.  An entry at offset
+``o`` is ``[num_true, true ids..., num_candidate, candidate ids...]``.
+Cells frequently share reference sets, so identical sets are stored once.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.refs import PolygonRef, validate_polygon_id
+
+TAG_POINTER = 0
+TAG_ONE_REF = 1
+TAG_TWO_REFS = 2
+TAG_OFFSET = 3
+
+SENTINEL_ENTRY = 0
+
+_VALUE_MASK = (1 << 31) - 1
+
+
+class LookupTable:
+    """Builds and serves the shared reference-list array."""
+
+    def __init__(self) -> None:
+        self._data: list[int] = []
+        self._offsets: dict[tuple[PolygonRef, ...], int] = {}
+        self._frozen: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Build side
+    # ------------------------------------------------------------------
+
+    def encode(self, refs: Sequence[PolygonRef]) -> int:
+        """Return the tagged entry for a (canonical) reference set."""
+        if not refs:
+            raise ValueError("a super-covering cell must reference >= 1 polygon")
+        for ref in refs:
+            validate_polygon_id(ref.polygon_id)
+        if len(refs) == 1:
+            return (refs[0].packed() << 2) | TAG_ONE_REF
+        if len(refs) == 2:
+            return (
+                (refs[0].packed() << 2)
+                | (refs[1].packed() << 33)
+                | TAG_TWO_REFS
+            )
+        return (self._intern(tuple(refs)) << 2) | TAG_OFFSET
+
+    def _intern(self, refs: tuple[PolygonRef, ...]) -> int:
+        offset = self._offsets.get(refs)
+        if offset is not None:
+            return offset
+        offset = len(self._data)
+        if offset > _VALUE_MASK:
+            raise OverflowError("lookup table exceeds the 31-bit offset budget")
+        true_ids = [r.polygon_id for r in refs if r.interior]
+        cand_ids = [r.polygon_id for r in refs if not r.interior]
+        self._data.append(len(true_ids))
+        self._data.extend(true_ids)
+        self._data.append(len(cand_ids))
+        self._data.extend(cand_ids)
+        self._offsets[refs] = offset
+        self._frozen = None
+        return offset
+
+    # ------------------------------------------------------------------
+    # Probe side
+    # ------------------------------------------------------------------
+
+    @property
+    def array(self) -> np.ndarray:
+        """The flat ``uint32`` array (rebuilt lazily after inserts)."""
+        if self._frozen is None or len(self._frozen) != len(self._data):
+            self._frozen = np.asarray(self._data, dtype=np.uint32)
+        return self._frozen
+
+    def decode_offset(self, offset: int) -> tuple[PolygonRef, ...]:
+        """Reference set stored at ``offset``, in canonical (id-sorted) order."""
+        data = self._data
+        num_true = data[offset]
+        cursor = offset + 1
+        refs = [PolygonRef(pid, True) for pid in data[cursor:cursor + num_true]]
+        cursor += num_true
+        num_cand = data[cursor]
+        cursor += 1
+        refs.extend(PolygonRef(pid, False) for pid in data[cursor:cursor + num_cand])
+        refs.sort(key=lambda ref: ref.polygon_id)
+        return tuple(refs)
+
+    def decode_entry(self, entry: int) -> tuple[PolygonRef, ...]:
+        """Reference set for any non-pointer tagged entry."""
+        tag = entry & 3
+        if tag == TAG_ONE_REF:
+            return (PolygonRef.from_packed((entry >> 2) & _VALUE_MASK),)
+        if tag == TAG_TWO_REFS:
+            return (
+                PolygonRef.from_packed((entry >> 2) & _VALUE_MASK),
+                PolygonRef.from_packed((entry >> 33) & _VALUE_MASK),
+            )
+        if tag == TAG_OFFSET:
+            return self.decode_offset(entry >> 2)
+        raise ValueError(f"entry {entry:#x} is a pointer, not a value")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def size_bytes(self) -> int:
+        return 4 * len(self._data)
+
+    @property
+    def num_lists(self) -> int:
+        return len(self._offsets)
+
+    def __len__(self) -> int:
+        return len(self._data)

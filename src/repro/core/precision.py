@@ -1,0 +1,181 @@
+"""Precision-bound refinement of a super covering (Section 3.2).
+
+The approximate join treats every boundary-cell hit as a join pair, so the
+distance of a false positive from the polygon is bounded by the diagonal of
+the largest boundary cell.  To honor a user-defined precision bound, every
+boundary cell coarser than the level implied by the bound is replaced by
+descendants at that level; descendants are re-classified against the
+referenced polygons so that
+
+* descendants fully inside a polygon become true-hit cells,
+* descendants still touching a boundary stay candidate cells at exactly the
+  required level,
+* descendants outside every referenced polygon are dropped.
+
+A naive implementation would enumerate all ``4^(target - level)``
+descendants; we instead descend recursively, pruning whole subtrees the
+moment they lose contact with every polygon boundary (propagating the
+subset of polygon edges that can still intersect each subtree — the same
+trick the S2 shape index uses).  Cells that separate from all boundaries
+above the target level are kept coarse: they are uniform, so keeping them
+un-split preserves both the precision guarantee (which constrains only
+boundary cells) and memory.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.cells.cell import bound_rect_from_face_ij
+from repro.cells.cellid import MAX_LEVEL as MAX_CELL_LEVEL
+from repro.cells.cellid import CellId
+from repro.cells.metrics import level_for_max_diag_meters
+from repro.core.refs import PolygonRef, merge_refs
+from repro.core.super_covering import SuperCovering
+from repro.geo.edgeset import EdgeSet
+from repro.geo.pip import contains_point
+from repro.geo.polygon import Polygon
+
+
+def classify_descendants(
+    cell: CellId,
+    candidate_pids: Sequence[int],
+    polygons_by_id: dict[int, Polygon],
+    target_level: int,
+) -> list[tuple[CellId, list[PolygonRef]]]:
+    """Split ``cell`` down to ``target_level`` around polygon boundaries.
+
+    Returns disjoint descendant cells (coarser where uniform) with the
+    re-classified references for ``candidate_pids``.  Cells with no
+    remaining references are omitted.
+    """
+    edge_set = EdgeSet(
+        [polygons_by_id[pid] for pid in candidate_pids], list(candidate_pids)
+    )
+    face, root_i, root_j = cell.to_face_ij()
+    results: list[tuple[CellId, list[PolygonRef]]] = []
+    # The descent runs in (i, j) grid space: children are quadrant
+    # arithmetic, and only *emitted* cells pay for a Hilbert walk.  Stack
+    # frames carry the polygons already known to fully contain the subtree
+    # ("inherited" true hits): once a polygon's boundary stops touching a
+    # cell, its edges leave the propagated subset, so the containment
+    # verdict must ride along explicitly.
+    stack: list[tuple[int, int, int, EdgeSet, tuple[int, ...]]] = [
+        (cell.level, root_i, root_j, edge_set, ())
+    ]
+
+    def emit(level: int, i: int, j: int, refs: list[PolygonRef]) -> None:
+        emitted = CellId.from_face_ij(face, i, j)
+        if level < emitted.level:
+            emitted = emitted.parent(level)
+        results.append((emitted, refs))
+
+    while stack:
+        level, i, j, edges, inherited = stack.pop()
+        size = 1 << (MAX_CELL_LEVEL - level)
+        rect = bound_rect_from_face_ij(face, i, j, size, level)
+        touching = edges.touching(rect)
+        sub = edges.subset(touching)
+        new_inherited = inherited
+        if len(sub) != len(edges):
+            # Polygons whose boundary no longer reaches this cell are
+            # uniform here: inside -> true hit from now on, outside ->
+            # dropped.  (Unchanged edge count means unchanged pid set.)
+            touched_pids = sub.unique_pids()
+            resolved = edges.unique_pids() - touched_pids
+            if resolved:
+                lng, lat = rect.center
+                gained = [
+                    pid
+                    for pid in resolved
+                    if contains_point(polygons_by_id[pid], lng, lat)
+                ]
+                if gained:
+                    new_inherited = tuple(inherited) + tuple(gained)
+        if not len(sub):
+            if new_inherited:
+                emit(level, i, j, [PolygonRef(pid, True) for pid in sorted(new_inherited)])
+            continue
+        if level >= target_level:
+            refs = [PolygonRef(pid, True) for pid in sorted(new_inherited)]
+            refs += [PolygonRef(pid, False) for pid in sorted(sub.unique_pids())]
+            emit(level, i, j, refs)
+            continue
+        half = size >> 1
+        stack.append((level + 1, i, j, sub, new_inherited))
+        stack.append((level + 1, i + half, j, sub, new_inherited))
+        stack.append((level + 1, i, j + half, sub, new_inherited))
+        stack.append((level + 1, i + half, j + half, sub, new_inherited))
+    return results
+
+
+def refine_to_precision(
+    super_covering: SuperCovering,
+    polygons: Sequence[Polygon],
+    precision_meters: float,
+) -> int:
+    """Refine all boundary cells to honor ``precision_meters`` (in place).
+
+    Returns the minimum boundary-cell level implied by the bound.  After
+    this call, every candidate (boundary) cell in the super covering has a
+    maximum diagonal of at most ``precision_meters``.
+    """
+    target_level = level_for_max_diag_meters(precision_meters)
+    polygons_by_id = {pid: polygon for pid, polygon in enumerate(polygons)}
+    # Every cell with a candidate reference is (re-)classified — including
+    # cells already at or below the target level: conflict resolution can
+    # hand a fine cell a candidate reference for a polygon it does not even
+    # touch (inherited from a coarse ancestor), and the precision guarantee
+    # requires boundary cells to actually border their polygons.
+    coarse = [
+        (CellId(raw_id), refs)
+        for raw_id, refs in super_covering.raw_items().items()
+        if any(not ref.interior for ref in refs)
+    ]
+    for cell, refs in coarse:
+        true_refs = tuple(ref for ref in refs if ref.interior)
+        candidate_pids = [ref.polygon_id for ref in refs if not ref.interior]
+        replacements = []
+        for descendant, new_refs in classify_descendants(
+            cell, candidate_pids, polygons_by_id, target_level
+        ):
+            replacements.append((descendant, merge_refs(true_refs, new_refs)))
+        # True hits inherited from the original cell must keep covering the
+        # *whole* cell even where every candidate polygon is absent.
+        if true_refs:
+            covered = {d.id for d, _ in replacements}
+            for gap in _uncovered_children(cell, covered):
+                replacements.append((gap, true_refs))
+        super_covering.replace_cell(cell, replacements)
+    return target_level
+
+
+def _uncovered_children(cell: CellId, covered_ids: set[int]) -> list[CellId]:
+    """Maximal descendants of ``cell`` disjoint from ``covered_ids`` cells.
+
+    ``covered_ids`` contains disjoint descendants of ``cell``; the result
+    tiles the remainder with the coarsest possible cells.
+    """
+    if not covered_ids:
+        return [cell]
+    import bisect
+
+    sorted_ids = sorted(covered_ids)
+    gaps: list[CellId] = []
+
+    def descend(current: CellId) -> None:
+        if current.id in covered_ids:
+            return
+        lo = current.range_min().id
+        hi = current.range_max().id
+        index = bisect.bisect_left(sorted_ids, lo)
+        if index >= len(sorted_ids) or sorted_ids[index] > hi:
+            gaps.append(current)
+            return
+        for child in current.children():
+            descend(child)
+
+    descend(cell)
+    return gaps

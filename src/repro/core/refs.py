@@ -1,0 +1,63 @@
+"""Polygon references: the payload attached to every super-covering cell.
+
+A cell of the super covering references every polygon whose covering (or
+interior covering) contributed it.  Each reference carries the paper's two
+attributes (Section 3.1.1): the polygon id, and the *interior flag* telling
+whether the cell lies entirely inside that polygon (a true hit) or merely
+intersects its boundary region (a candidate hit requiring refinement).
+
+Polygon ids must fit in 30 bits because the Adaptive Cell Trie inlines
+references as 31-bit tagged values (id in the upper 30 bits, interior flag
+in the least significant bit).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, NamedTuple
+
+MAX_POLYGON_ID = (1 << 30) - 1
+
+
+class PolygonRef(NamedTuple):
+    """A reference from a super-covering cell to one polygon."""
+
+    polygon_id: int
+    interior: bool
+
+    def packed(self) -> int:
+        """The 31-bit inline encoding: ``(polygon_id << 1) | interior``."""
+        return (self.polygon_id << 1) | int(self.interior)
+
+    @staticmethod
+    def from_packed(value: int) -> "PolygonRef":
+        return PolygonRef(value >> 1, bool(value & 1))
+
+
+def validate_polygon_id(polygon_id: int) -> int:
+    """Raise if ``polygon_id`` exceeds the 30-bit inline budget."""
+    if not 0 <= polygon_id <= MAX_POLYGON_ID:
+        raise ValueError(
+            f"polygon id {polygon_id} outside the 30-bit range the index supports"
+        )
+    return polygon_id
+
+
+def merge_refs(*groups: Iterable[PolygonRef]) -> tuple[PolygonRef, ...]:
+    """Merge reference groups, letting the interior flag dominate.
+
+    When the same polygon appears both as a true hit (from its interior
+    covering) and as a candidate (from its boundary covering), only the
+    true hit survives: a point in a cell fully inside the polygon needs no
+    refinement.  The result is sorted for canonical, hashable identity —
+    the lookup table deduplicates on it.
+    """
+    interior: set[int] = set()
+    seen: set[int] = set()
+    for group in groups:
+        for ref in group:
+            seen.add(ref.polygon_id)
+            if ref.interior:
+                interior.add(ref.polygon_id)
+    return tuple(
+        PolygonRef(pid, pid in interior) for pid in sorted(seen)
+    )

@@ -1,0 +1,106 @@
+"""Persist and restore a built :class:`~repro.core.builder.PolygonIndex`.
+
+The paper's setting is a mostly static polygon set probed by a stream of
+points; rebuilding the index on every process start wastes exactly the
+build time the paper chose not to optimize.  ``save_index``/``load_index``
+serialize everything needed to probe — the super covering (cells +
+references), the polygons (WKT), and the build configuration — into a
+single ``.npz`` file; loading re-runs only the cheap, vectorized trie
+construction.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.core.act import AdaptiveCellTrie
+from repro.core.builder import BuildTimings, PolygonIndex
+from repro.core.lookup_table import LookupTable
+from repro.core.refs import PolygonRef
+from repro.core.super_covering import SuperCovering
+from repro.geo.wkt import polygon_from_wkt, polygon_to_wkt
+from repro.util.timing import Timer
+
+FORMAT_VERSION = 1
+
+
+def _pack_covering(covering: SuperCovering) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Flatten cells + refs into (cell ids, ref offsets, packed refs)."""
+    raw = covering.raw_items()
+    cell_ids = np.fromiter(raw.keys(), dtype=np.uint64, count=len(raw))
+    offsets = np.zeros(len(raw) + 1, dtype=np.int64)
+    packed: list[int] = []
+    for index, refs in enumerate(raw.values()):
+        packed.extend(ref.packed() for ref in refs)
+        offsets[index + 1] = len(packed)
+    return cell_ids, offsets, np.asarray(packed, dtype=np.uint32)
+
+
+def _unpack_covering(
+    cell_ids: np.ndarray, offsets: np.ndarray, packed: np.ndarray
+) -> SuperCovering:
+    covering = SuperCovering()
+    refs_map = covering._refs
+    for index, raw_id in enumerate(cell_ids):
+        lo = int(offsets[index])
+        hi = int(offsets[index + 1])
+        refs_map[int(raw_id)] = tuple(
+            PolygonRef.from_packed(int(value)) for value in packed[lo:hi]
+        )
+    covering._sorted_ids = sorted(refs_map)
+    return covering
+
+
+def save_index(index: PolygonIndex, path: str | pathlib.Path) -> None:
+    """Serialize ``index`` to ``path`` (a ``.npz`` archive)."""
+    if not isinstance(index.store, AdaptiveCellTrie):
+        raise NotImplementedError("serialization is wired up for the ACT store")
+    cell_ids, offsets, packed = _pack_covering(index.super_covering)
+    meta = {
+        "format_version": FORMAT_VERSION,
+        "fanout_bits": index.store.fanout_bits,
+        "precision_meters": index.precision_meters,
+        "num_polygons": len(index.polygons),
+    }
+    np.savez_compressed(
+        path,
+        meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+        cell_ids=cell_ids,
+        ref_offsets=offsets,
+        packed_refs=packed,
+        polygons=np.asarray(
+            [polygon_to_wkt(polygon) for polygon in index.polygons], dtype=object
+        ),
+    )
+
+
+def load_index(path: str | pathlib.Path) -> PolygonIndex:
+    """Restore an index saved by :func:`save_index` (rebuilds only the trie)."""
+    with np.load(path, allow_pickle=True) as archive:
+        meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
+        if meta["format_version"] != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported index file version {meta['format_version']}"
+            )
+        covering = _unpack_covering(
+            archive["cell_ids"], archive["ref_offsets"], archive["packed_refs"]
+        )
+        polygons = [polygon_from_wkt(text) for text in archive["polygons"]]
+    lookup_table = LookupTable()
+    with Timer() as timer:
+        store = AdaptiveCellTrie(
+            covering, fanout_bits=meta["fanout_bits"], lookup_table=lookup_table
+        )
+    timings = BuildTimings(store_build_seconds=timer.seconds)
+    return PolygonIndex(
+        polygons=polygons,
+        super_covering=covering,
+        store=store,
+        lookup_table=lookup_table,
+        timings=timings,
+        precision_meters=meta["precision_meters"],
+        training_report=None,
+    )

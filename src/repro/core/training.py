@@ -1,0 +1,149 @@
+"""Index training with historical data points (Section 3.3.1).
+
+The accurate join only pays for PIP tests when a point lands in an
+*expensive* cell — one whose reference set contains at least one candidate
+hit.  Training replays historical points against the super covering and,
+whenever a point hits an expensive cell, replaces that cell with its (up
+to) four direct children, re-classified against the referenced polygons.
+Popular areas therefore end up approximated by a finer grid than unpopular
+ones, raising the solely-true-hits rate exactly where query traffic lands.
+
+Faithful to the paper:
+
+* one training point splits the cell it hits by exactly one level — more
+  robust against outliers than a full descent,
+* repeated hits (from later training points) keep refining the children,
+* refinement stops when a cell-count budget is exhausted,
+* training happens in a dedicated phase; the trie is rebuilt afterwards
+  (concurrent runtime training is future work in the paper too).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.cells.cell import cell_bound_rect
+from repro.cells.cellid import MAX_LEVEL, CellId
+from repro.core.refs import PolygonRef, merge_refs
+from repro.core.super_covering import SuperCovering
+from repro.geo.polygon import Polygon
+from repro.geo.relation import Relation, rect_polygon_relation
+
+
+@dataclass
+class TrainingReport:
+    """What a training pass did."""
+
+    points_processed: int = 0
+    points_hit_expensive: int = 0
+    cells_split: int = 0
+    cells_added: int = 0
+    budget_exhausted: bool = False
+
+
+def split_expensive_cell(
+    super_covering: SuperCovering,
+    cell: CellId,
+    refs: Sequence[PolygonRef],
+    polygons: Sequence[Polygon],
+) -> int:
+    """Replace one expensive cell with its re-classified children.
+
+    Returns the number of replacement cells inserted.  Children are
+    classified per candidate polygon: fully contained becomes a true hit,
+    still intersecting stays a candidate, disjoint is dropped; inherited
+    true hits replicate unchanged.
+    """
+    true_refs = tuple(ref for ref in refs if ref.interior)
+    candidate_pids = [ref.polygon_id for ref in refs if not ref.interior]
+    replacements: list[tuple[CellId, tuple[PolygonRef, ...]]] = []
+    for child in cell.children():
+        rect = cell_bound_rect(child)
+        child_refs: list[PolygonRef] = []
+        for pid in candidate_pids:
+            relation = rect_polygon_relation(rect, polygons[pid])
+            if relation == Relation.CONTAINED:
+                child_refs.append(PolygonRef(pid, True))
+            elif relation == Relation.INTERSECTS:
+                child_refs.append(PolygonRef(pid, False))
+        merged = merge_refs(true_refs, child_refs)
+        if merged:
+            replacements.append((child, merged))
+    super_covering.replace_cell(cell, replacements)
+    return len(replacements)
+
+
+def train_super_covering(
+    super_covering: SuperCovering,
+    polygons: Sequence[Polygon],
+    training_cell_ids: np.ndarray,
+    max_cells: int | None = None,
+) -> TrainingReport:
+    """Adapt the super covering to an expected point distribution.
+
+    Parameters
+    ----------
+    training_cell_ids:
+        Leaf cell ids of historical points (uint64 array), e.g. produced by
+        :func:`repro.cells.cell_ids_from_lat_lng_arrays`.
+    max_cells:
+        Optional cell budget: training stops once the super covering holds
+        this many cells (the paper's memory budget).
+    """
+    report = TrainingReport()
+    for raw in training_cell_ids:
+        report.points_processed += 1
+        if max_cells is not None and super_covering.num_cells >= max_cells:
+            report.budget_exhausted = True
+            break
+        found = super_covering.find_containing(int(raw))
+        if found is None:
+            continue
+        cell, refs = found
+        if cell.level >= MAX_LEVEL:
+            continue
+        if all(ref.interior for ref in refs):
+            continue  # cheap cell: solely true hits, nothing to gain
+        report.points_hit_expensive += 1
+        added = split_expensive_cell(super_covering, cell, refs, polygons)
+        report.cells_split += 1
+        report.cells_added += added - 1
+    return report
+
+
+def solely_true_hit_rate(
+    super_covering: SuperCovering, query_cell_ids: np.ndarray
+) -> float:
+    """Paper's STH metric: fraction of points skipping the refinement phase.
+
+    A point skips refinement when it misses the index entirely or hits a
+    cell whose references are all true hits.
+    """
+    if len(query_cell_ids) == 0:
+        return 1.0
+    # Vectorized ancestor walk over the covering's interval representation.
+    ids = np.sort(np.asarray(list(super_covering.raw_items()), dtype=np.uint64))
+    if len(ids) == 0:
+        return 1.0
+    expensive = np.asarray(
+        [
+            any(not ref.interior for ref in super_covering.raw_items()[int(raw)])
+            for raw in ids
+        ],
+        dtype=bool,
+    )
+    lows = np.asarray(
+        [CellId(int(raw)).range_min().id for raw in ids], dtype=np.uint64
+    )
+    highs = np.asarray(
+        [CellId(int(raw)).range_max().id for raw in ids], dtype=np.uint64
+    )
+    queries = np.asarray(query_cell_ids, dtype=np.uint64)
+    slot = np.searchsorted(lows, queries, side="right").astype(np.int64) - 1
+    clamped = np.clip(slot, 0, len(ids) - 1)
+    hit = (slot >= 0) & (queries <= highs[clamped])
+    needs_refine = hit & expensive[clamped]
+    return 1.0 - float(np.count_nonzero(needs_refine)) / len(queries)

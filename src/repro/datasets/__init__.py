@@ -1,0 +1,53 @@
+"""Workload generators replacing the paper's proprietary datasets.
+
+The paper evaluates on NYC TLC taxi pick-ups (1.23 B points), five years of
+geo-tagged tweets, and three NYC polygon datasets (boroughs, neighborhoods,
+census tracts).  None of those multi-GB downloads are available offline, so
+this package generates synthetic datasets that preserve the structural
+properties the evaluation depends on (DESIGN.md §1.3 item 4):
+
+* polygon datasets are Voronoi partitions of one shared city rectangle —
+  largely disjoint, jointly covering, with the paper's polygon counts and
+  per-polygon vertex complexity (boroughs: few/complex, census:
+  many/simple) obtained by fractal edge densification,
+* "taxi" and "Twitter" point sets are hotspot mixtures (>90 % of the mass
+  near a few centers, like Manhattan + airports) while synthetic baselines
+  are uniform in the polygon MBR,
+* every generator is deterministic under an explicit seed and accepts a
+  ``scale`` knob so benches run at laptop size.
+"""
+
+from repro.datasets.polygons import (
+    fractal_densify_ring,
+    voronoi_partition,
+)
+from repro.datasets.points import clustered_points, uniform_points
+from repro.datasets.workloads import (
+    CITY_BOXES,
+    NYC_BOX,
+    POLYGON_DATASETS,
+    PolygonDatasetSpec,
+    TWITTER_CITIES,
+    polygon_dataset,
+    taxi_points,
+    twitter_points,
+    twitter_polygons,
+    uniform_points_for,
+)
+
+__all__ = [
+    "voronoi_partition",
+    "fractal_densify_ring",
+    "clustered_points",
+    "uniform_points",
+    "CITY_BOXES",
+    "NYC_BOX",
+    "POLYGON_DATASETS",
+    "TWITTER_CITIES",
+    "PolygonDatasetSpec",
+    "polygon_dataset",
+    "taxi_points",
+    "twitter_points",
+    "twitter_polygons",
+    "uniform_points_for",
+]

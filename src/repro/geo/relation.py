@@ -1,0 +1,76 @@
+"""Rectangle/polygon relation tests used by the region coverer.
+
+The coverer (see :mod:`repro.cells.coverer`) classifies a grid cell against
+a polygon as one of three relations:
+
+* ``DISJOINT`` — the cell cannot contain any polygon point,
+* ``CONTAINED`` — the cell lies entirely in the polygon interior (a *true
+  hit* cell for the paper's true hit filtering),
+* ``INTERSECTS`` — anything else (a *boundary* cell).
+
+Cells are presented here as conservative lat/lng rectangles (see
+DESIGN.md §1.3 item 1).  The classification must err toward INTERSECTS:
+wrongly reporting DISJOINT would lose join results, wrongly reporting
+CONTAINED would fabricate them; reporting INTERSECTS too eagerly only
+costs precision, never correctness.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.geo.pip import contains_point
+from repro.geo.polygon import Polygon
+from repro.geo.rect import Rect
+
+
+class Relation(enum.Enum):
+    """Relation of a cell rectangle to a polygon."""
+
+    DISJOINT = 0
+    INTERSECTS = 1
+    CONTAINED = 2
+
+
+def _any_vertex_strictly_inside(rect: Rect, lngs: np.ndarray, lats: np.ndarray) -> bool:
+    return bool(
+        np.any(
+            (lngs > rect.lng_lo)
+            & (lngs < rect.lng_hi)
+            & (lats > rect.lat_lo)
+            & (lats < rect.lat_hi)
+        )
+    )
+
+
+def _polygon_edgeset(polygon: Polygon):
+    """Cached :class:`repro.geo.edgeset.EdgeSet` over all rings."""
+    if polygon._edgeset_cache is None:
+        from repro.geo.edgeset import EdgeSet
+
+        polygon._edgeset_cache = EdgeSet([polygon], [0])
+    return polygon._edgeset_cache
+
+
+def _any_edge_intersects_rect(rect: Rect, polygon: Polygon) -> bool:
+    """True if any polygon edge has a non-empty intersection with ``rect``."""
+    return bool(_polygon_edgeset(polygon).touching(rect).any())
+
+
+def rect_polygon_relation(rect: Rect, polygon: Polygon) -> Relation:
+    """Classify ``rect`` against ``polygon`` (conservatively, see module doc)."""
+    if rect.is_empty or not rect.intersects(polygon.mbr):
+        return Relation.DISJOINT
+    # A ring vertex strictly inside the rect means the boundary enters it.
+    for ring in polygon.rings:
+        if _any_vertex_strictly_inside(rect, ring.lngs, ring.lats):
+            return Relation.INTERSECTS
+    if _any_edge_intersects_rect(rect, polygon):
+        return Relation.INTERSECTS
+    # No boundary contact: the rect is wholly inside or wholly outside.
+    lng, lat = rect.center
+    if contains_point(polygon, lng, lat):
+        return Relation.CONTAINED
+    return Relation.DISJOINT

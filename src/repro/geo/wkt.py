@@ -1,0 +1,45 @@
+"""Minimal WKT (well-known text) reader/writer for POLYGON geometries.
+
+Supports the subset the examples and tests need: ``POLYGON`` with one outer
+ring and optional hole rings, with the usual ``lng lat`` coordinate order.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.geo.polygon import Polygon
+
+_WKT_POLYGON = re.compile(r"^\s*POLYGON\s*\((.*)\)\s*$", re.IGNORECASE | re.DOTALL)
+_RING = re.compile(r"\(([^()]*)\)")
+
+
+def polygon_from_wkt(text: str) -> Polygon:
+    """Parse a ``POLYGON ((...), (...))`` string into a :class:`Polygon`."""
+    match = _WKT_POLYGON.match(text)
+    if not match:
+        raise ValueError(f"not a WKT POLYGON: {text[:60]!r}")
+    rings = []
+    for ring_text in _RING.findall(match.group(1)):
+        vertices = []
+        for pair in ring_text.split(","):
+            parts = pair.split()
+            if len(parts) != 2:
+                raise ValueError(f"bad WKT coordinate pair: {pair!r}")
+            vertices.append((float(parts[0]), float(parts[1])))
+        rings.append(vertices)
+    if not rings:
+        raise ValueError("WKT POLYGON with no rings")
+    return Polygon(rings[0], rings[1:])
+
+
+def _ring_to_wkt(lngs, lats) -> str:
+    coords = [f"{lng:.9g} {lat:.9g}" for lng, lat in zip(lngs, lats)]
+    coords.append(coords[0])  # WKT rings are explicitly closed
+    return "(" + ", ".join(coords) + ")"
+
+
+def polygon_to_wkt(polygon: Polygon) -> str:
+    """Serialize a :class:`Polygon` to WKT."""
+    rings = [_ring_to_wkt(ring.lngs, ring.lats) for ring in polygon.rings]
+    return "POLYGON (" + ", ".join(rings) + ")"

@@ -1,0 +1,20 @@
+"""Shared utilities: bit manipulation, timing, table formatting, RNG plumbing."""
+
+from repro.util.bits import (
+    bit_length,
+    count_trailing_zeros,
+    lowest_set_bit,
+    U64_MASK,
+)
+from repro.util.timing import Timer, throughput_mpts
+from repro.util.tables import format_table
+
+__all__ = [
+    "bit_length",
+    "count_trailing_zeros",
+    "lowest_set_bit",
+    "U64_MASK",
+    "Timer",
+    "throughput_mpts",
+    "format_table",
+]

@@ -1,0 +1,29 @@
+"""Bit-level helpers for 64-bit cell-id arithmetic.
+
+All cell-id math in :mod:`repro.cells` operates on plain Python integers
+masked to 64 bits.  These helpers centralize the handful of two's-complement
+tricks the S2-style encoding relies on, so the call sites read like the
+C++ originals.
+"""
+
+U64_MASK = (1 << 64) - 1
+
+
+def lowest_set_bit(value: int) -> int:
+    """Return the lowest set bit of ``value`` (``value & -value`` on uint64).
+
+    Returns 0 when ``value`` is 0.
+    """
+    return value & (-value & U64_MASK)
+
+
+def count_trailing_zeros(value: int) -> int:
+    """Return the number of trailing zero bits (undefined input 0 -> 64)."""
+    if value == 0:
+        return 64
+    return (value & -value).bit_length() - 1
+
+
+def bit_length(value: int) -> int:
+    """Return the number of bits needed to represent ``value``."""
+    return value.bit_length()

@@ -1,0 +1,43 @@
+"""Plain-text table formatting for the experiment runners.
+
+The benchmark harness prints tables shaped like the ones in the paper; this
+module renders them without any third-party dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def _cell_text(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned plain-text table."""
+    str_rows = [[_cell_text(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for col, cell in enumerate(row):
+            widths[col] = max(widths[col], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

@@ -1,0 +1,33 @@
+"""Timing helpers used by the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """A context-manager stopwatch.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(10))
+    >>> t.seconds >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.seconds = time.perf_counter() - self._start
+
+
+def throughput_mpts(num_points: int, seconds: float) -> float:
+    """Throughput in million points per second (0 when ``seconds`` is 0)."""
+    if seconds <= 0.0:
+        return 0.0
+    return num_points / seconds / 1e6

@@ -1,0 +1,200 @@
+"""Tests for the Adaptive Cell Trie.
+
+The master correctness check: for any super covering and any batch of query
+ids, every ACT fanout must return exactly the same reference sets as the
+sorted-vector containment lookup (which is itself tested against a brute
+force scan).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import SortedVectorStore
+from repro.cells import CellId, cell_ids_from_lat_lng_arrays
+from repro.core.act import AdaptiveCellTrie
+from repro.core.lookup_table import LookupTable
+from repro.core.refs import PolygonRef
+from repro.core.super_covering import SuperCovering, build_super_covering
+
+BASE = CellId.from_degrees(40.7, -74.0)
+
+
+def make_covering(cells_with_refs) -> SuperCovering:
+    covering = SuperCovering()
+    for cell, refs in cells_with_refs:
+        covering.insert(cell, refs)
+    return covering
+
+
+def decoded(store, entries):
+    return [
+        store.lookup_table.decode_entry(int(e)) if e else () for e in entries
+    ]
+
+
+@st.composite
+def random_covering(draw):
+    per_polygon = []
+    for pid in range(draw(st.integers(min_value=1, max_value=3))):
+        cells = []
+        for _ in range(draw(st.integers(min_value=1, max_value=5))):
+            level = draw(st.integers(min_value=4, max_value=18))
+            cell = BASE.parent(2)
+            for _ in range(level - 2):
+                cell = cell.child(draw(st.integers(min_value=0, max_value=3)))
+            cells.append(cell)
+        per_polygon.append((pid, cells, []))
+    return build_super_covering(per_polygon)
+
+
+class TestProbeCorrectness:
+    @pytest.mark.parametrize("fanout_bits", [2, 4, 8])
+    def test_matches_sorted_vector_on_grid(
+        self, fanout_bits, overlap_grid_polygons, nyc_query_points
+    ):
+        from repro.cells import CovererOptions, RegionCoverer
+
+        coverer = RegionCoverer(CovererOptions(max_cells=64, max_level=16))
+        interior = RegionCoverer(CovererOptions(max_cells=64, max_level=14))
+        covering = build_super_covering(
+            (pid, coverer.covering(p), interior.interior_covering(p))
+            for pid, p in enumerate(overlap_grid_polygons)
+        )
+        lngs, lats = nyc_query_points
+        ids = cell_ids_from_lat_lng_arrays(lats, lngs)
+        act = AdaptiveCellTrie(covering, fanout_bits, LookupTable())
+        reference = SortedVectorStore(covering, LookupTable())
+        assert decoded(act, act.probe(ids)) == decoded(reference, reference.probe(ids))
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_covering(), st.integers(min_value=0, max_value=2**32 - 1))
+    def test_matches_sorted_vector_randomized(self, covering, seed):
+        generator = np.random.default_rng(seed)
+        lats = generator.uniform(40.4, 41.0, 300)
+        lngs = generator.uniform(-74.3, -73.7, 300)
+        ids = cell_ids_from_lat_lng_arrays(lats, lngs)
+        reference = SortedVectorStore(covering, LookupTable())
+        for fanout_bits in (2, 4, 8):
+            act = AdaptiveCellTrie(covering, fanout_bits, LookupTable())
+            assert decoded(act, act.probe(ids)) == decoded(
+                reference, reference.probe(ids)
+            )
+
+    def test_probe_one(self):
+        covering = make_covering([(BASE.parent(10), [PolygonRef(3, True)])])
+        act = AdaptiveCellTrie(covering, 8)
+        assert act.probe_one(BASE.id) == (PolygonRef(3, True),)
+        miss = CellId.from_degrees(-33.0, 151.0)
+        assert act.probe_one(miss.id) == ()
+
+    def test_empty_covering(self):
+        act = AdaptiveCellTrie(SuperCovering(), 8)
+        ids = np.asarray([BASE.id], dtype=np.uint64)
+        assert act.probe(ids)[0] == 0
+        assert act.num_nodes == 0
+
+    def test_face_level_cell(self):
+        covering = make_covering([(CellId.face_cell(4), [PolygonRef(1, False)])])
+        act = AdaptiveCellTrie(covering, 8)
+        assert act.probe_one(BASE.id) == (PolygonRef(1, False),)
+
+    def test_prefix_rejection(self):
+        # All keys deep under one subtree: probes outside must miss fast.
+        covering = make_covering([(BASE.parent(14), [PolygonRef(1, True)])])
+        act = AdaptiveCellTrie(covering, 8)
+        nearby_miss = CellId.from_degrees(40.0, -74.0)
+        entries, stats = act.probe_instrumented(
+            np.asarray([nearby_miss.id], dtype=np.uint64)
+        )
+        assert entries[0] == 0
+        assert stats.prefix_rejections == 1
+
+
+class TestKeyExtension:
+    def test_aligned_level_not_extended(self):
+        covering = make_covering([(BASE.parent(8), [PolygonRef(1, True)])])
+        act = AdaptiveCellTrie(covering, 8)  # delta = 4; level 8 aligned
+        assert act.num_keys == 1
+
+    def test_unaligned_level_extended(self):
+        covering = make_covering([(BASE.parent(9), [PolygonRef(1, True)])])
+        act = AdaptiveCellTrie(covering, 8)  # level 9 -> 4^3 cells at level 12
+        assert act.num_keys == 64
+
+    def test_extension_preserves_lookups(self):
+        covering = make_covering([(BASE.parent(9), [PolygonRef(1, True)])])
+        act = AdaptiveCellTrie(covering, 8)
+        inside = CellId(BASE.parent(9).range_min().id)
+        outside = CellId(BASE.parent(8).range_max().id)
+        assert act.probe_one(inside.id) == (PolygonRef(1, True),)
+        if not BASE.parent(9).contains(outside):
+            assert act.probe_one(outside.id) == ()
+
+    def test_too_deep_extension_rejected(self):
+        covering = make_covering([(BASE.parent(29), [PolygonRef(1, True)])])
+        with pytest.raises(ValueError):
+            AdaptiveCellTrie(covering, 8)  # 29 -> 32 > 30
+
+    def test_level_30_fine_for_fanout_4(self):
+        covering = make_covering([(BASE, [PolygonRef(1, True)])])
+        act = AdaptiveCellTrie(covering, 2)
+        assert act.probe_one(BASE.id) == (PolygonRef(1, True),)
+
+
+class TestStructure:
+    def test_fanout_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveCellTrie(SuperCovering(), 3)
+
+    def test_variant_names(self):
+        covering = make_covering([(BASE.parent(8), [PolygonRef(1, True)])])
+        assert AdaptiveCellTrie(covering, 2).name == "ACT1"
+        assert AdaptiveCellTrie(covering, 4).name == "ACT2"
+        assert AdaptiveCellTrie(covering, 8).name == "ACT4"
+
+    def test_higher_fanout_fewer_nodes(self, overlap_grid_polygons):
+        from repro.cells import CovererOptions, RegionCoverer
+
+        coverer = RegionCoverer(CovererOptions(max_cells=64, max_level=16))
+        covering = build_super_covering(
+            (pid, coverer.covering(p), []) for pid, p in enumerate(overlap_grid_polygons)
+        )
+        act1 = AdaptiveCellTrie(covering, 2, LookupTable())
+        act4 = AdaptiveCellTrie(covering, 8, LookupTable())
+        assert act4.num_nodes < act1.num_nodes
+
+    def test_size_accounting(self):
+        covering = make_covering([(BASE.parent(8), [PolygonRef(1, True)])])
+        act = AdaptiveCellTrie(covering, 8)
+        assert act.size_bytes == act.pool.nbytes + act.lookup_table.size_bytes
+        assert act.pool.nbytes == (act.num_nodes + 1) * act.fanout * 8
+
+    def test_describe(self):
+        covering = make_covering([(BASE.parent(8), [PolygonRef(1, True)])])
+        info = AdaptiveCellTrie(covering, 8).describe()
+        assert info["variant"] == "ACT4"
+        assert info["num_input_cells"] == 1
+        assert 0.0 < info["occupancy"] <= 1.0
+
+
+class TestInstrumentation:
+    def test_depths_bounded_by_tree_height(self, overlap_grid_polygons):
+        from repro.cells import CovererOptions, RegionCoverer
+
+        coverer = RegionCoverer(CovererOptions(max_cells=64, max_level=16))
+        covering = build_super_covering(
+            (pid, coverer.covering(p), []) for pid, p in enumerate(overlap_grid_polygons)
+        )
+        act = AdaptiveCellTrie(covering, 8, LookupTable())
+        generator = np.random.default_rng(7)
+        lats = generator.uniform(40.68, 40.76, 5000)
+        lngs = generator.uniform(-74.02, -73.94, 5000)
+        ids = cell_ids_from_lat_lng_arrays(lats, lngs)
+        entries, stats = act.probe_instrumented(ids)
+        assert (entries == act.probe(ids)).all()
+        assert stats.depths.max() <= act._max_value_depth
+        histogram = stats.depth_histogram()
+        assert abs(sum(histogram.values()) - 1.0) < 1e-9
+        assert stats.avg_depth > 0

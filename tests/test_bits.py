@@ -1,0 +1,52 @@
+"""Unit tests for repro.util.bits."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bits import U64_MASK, count_trailing_zeros, lowest_set_bit
+
+
+class TestLowestSetBit:
+    def test_zero(self):
+        assert lowest_set_bit(0) == 0
+
+    def test_one(self):
+        assert lowest_set_bit(1) == 1
+
+    def test_power_of_two(self):
+        assert lowest_set_bit(1 << 40) == 1 << 40
+
+    def test_composite(self):
+        assert lowest_set_bit(0b101100) == 0b100
+
+    def test_all_ones(self):
+        assert lowest_set_bit(U64_MASK) == 1
+
+    def test_high_bit_only(self):
+        assert lowest_set_bit(1 << 63) == 1 << 63
+
+    @given(st.integers(min_value=1, max_value=U64_MASK))
+    def test_is_power_of_two_dividing_value(self, value):
+        lsb = lowest_set_bit(value)
+        assert lsb & (lsb - 1) == 0  # power of two
+        assert value % lsb == 0
+        assert (value ^ lsb) < value  # clearing it decreases the value
+
+
+class TestCountTrailingZeros:
+    def test_zero_convention(self):
+        assert count_trailing_zeros(0) == 64
+
+    def test_one(self):
+        assert count_trailing_zeros(1) == 0
+
+    def test_even(self):
+        assert count_trailing_zeros(0b1000) == 3
+
+    @given(st.integers(min_value=0, max_value=63))
+    def test_pure_powers(self, shift):
+        assert count_trailing_zeros(1 << shift) == shift
+
+    @given(st.integers(min_value=1, max_value=U64_MASK))
+    def test_matches_lowest_set_bit(self, value):
+        assert 1 << count_trailing_zeros(value) == lowest_set_bit(value)

@@ -1,0 +1,112 @@
+"""Tests for the GBT baseline: the bulk-loaded B-tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import BTreeStore, SortedVectorStore
+from repro.cells import CellId, cell_ids_from_lat_lng_arrays
+from repro.core.lookup_table import LookupTable
+from repro.core.refs import PolygonRef
+from repro.core.super_covering import SuperCovering
+
+BASE = CellId.from_degrees(40.7, -74.0)
+
+
+def dense_covering(num_cells: int, level: int = 12) -> SuperCovering:
+    covering = SuperCovering()
+    added = 0
+    for cell in BASE.parent(6).children_at_level(level):
+        covering.insert(cell, [PolygonRef(added % 100, added % 2 == 0)])
+        added += 1
+        if added >= num_cells:
+            break
+    return covering
+
+
+class TestStructure:
+    def test_single_node_tree(self):
+        covering = dense_covering(5)
+        store = BTreeStore(covering, LookupTable())
+        assert store.height == 1
+
+    def test_multi_level_tree(self):
+        covering = dense_covering(1000)
+        store = BTreeStore(covering, LookupTable())
+        assert store.height >= 3  # 1000 keys at fanout 16
+
+    def test_fanout_validation(self):
+        with pytest.raises(ValueError):
+            BTreeStore(SuperCovering(), LookupTable(), fanout=1)
+
+    def test_size_grows_with_cells(self):
+        small = BTreeStore(dense_covering(10), LookupTable())
+        large = BTreeStore(dense_covering(1000), LookupTable())
+        assert large.size_bytes > small.size_bytes
+
+    def test_counter_models(self):
+        store = BTreeStore(dense_covering(1000), LookupTable())
+        assert store.node_accesses_per_probe() == store.height
+        assert store.comparisons_per_probe() == store.height * 4.0  # log2(16)
+        assert store.cache_lines_per_probe() == store.height * 3.0
+
+    def test_describe(self):
+        info = BTreeStore(dense_covering(50), LookupTable()).describe()
+        assert info["variant"] == "GBT"
+        assert info["num_cells"] == 50
+
+
+class TestProbe:
+    def test_matches_sorted_vector_dense(self):
+        covering = dense_covering(3000)
+        btree = BTreeStore(covering, LookupTable())
+        reference = SortedVectorStore(covering, LookupTable())
+        generator = np.random.default_rng(17)
+        lats = generator.uniform(40.4, 41.0, 20_000)
+        lngs = generator.uniform(-74.3, -73.7, 20_000)
+        ids = cell_ids_from_lat_lng_arrays(lats, lngs)
+        got = btree.probe(ids)
+        expected = reference.probe(ids)
+        for k in range(0, len(ids), 503):
+            a = btree.lookup_table.decode_entry(int(got[k])) if got[k] else ()
+            b = reference.lookup_table.decode_entry(int(expected[k])) if expected[k] else ()
+            assert a == b
+
+    def test_chunk_boundaries(self, monkeypatch):
+        covering = dense_covering(500)
+        btree = BTreeStore(covering, LookupTable())
+        reference = SortedVectorStore(covering, LookupTable())
+        generator = np.random.default_rng(23)
+        lats = generator.uniform(40.6, 40.8, 1000)
+        lngs = generator.uniform(-74.1, -73.9, 1000)
+        ids = cell_ids_from_lat_lng_arrays(lats, lngs)
+        full = btree.probe(ids)
+        monkeypatch.setattr(BTreeStore, "CHUNK", 13)
+        chunked = btree.probe(ids)
+        assert (full == chunked).all()
+        # Hits/misses also agree with the reference.
+        assert ((full == 0) == (reference.probe(ids) == 0)).all()
+
+    def test_query_below_min_key_misses(self):
+        covering = SuperCovering()
+        covering.insert(BASE.parent(12), [PolygonRef(1, False)])
+        store = BTreeStore(covering, LookupTable())
+        below = np.asarray([1], dtype=np.uint64)  # leaf id on face 0
+        assert store.probe(below)[0] == 0
+
+    def test_empty_store(self):
+        store = BTreeStore(SuperCovering(), LookupTable())
+        assert store.probe(np.asarray([BASE.id], dtype=np.uint64))[0] == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=1, max_value=60), st.integers(min_value=0, max_value=2**31))
+    def test_random_sizes_match_reference(self, num_cells, seed):
+        covering = dense_covering(num_cells)
+        btree = BTreeStore(covering, LookupTable())
+        reference = SortedVectorStore(covering, LookupTable())
+        generator = np.random.default_rng(seed)
+        lats = generator.uniform(40.65, 40.75, 100)
+        lngs = generator.uniform(-74.05, -73.95, 100)
+        ids = cell_ids_from_lat_lng_arrays(lats, lngs)
+        assert ((btree.probe(ids) == 0) == (reference.probe(ids) == 0)).all()

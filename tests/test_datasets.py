@@ -1,0 +1,171 @@
+"""Tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    CITY_BOXES,
+    NYC_BOX,
+    POLYGON_DATASETS,
+    TWITTER_CITIES,
+    clustered_points,
+    polygon_dataset,
+    taxi_points,
+    twitter_points,
+    twitter_polygons,
+    uniform_points,
+    uniform_points_for,
+    voronoi_partition,
+)
+from repro.datasets.polygons import fractal_densify_ring
+from repro.geo.pip import contains_points
+from repro.geo.rect import Rect
+
+
+class TestVoronoiPartition:
+    def test_polygon_count(self):
+        cells = voronoi_partition(NYC_BOX, 25, seed=3)
+        assert len(cells) == 25
+
+    def test_single_polygon_is_box(self):
+        cells = voronoi_partition(NYC_BOX, 1)
+        assert len(cells) == 1
+        assert cells[0].mbr.lng_lo == pytest.approx(NYC_BOX.lng_lo)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            voronoi_partition(NYC_BOX, 0)
+
+    def test_partition_tiles_box(self):
+        """Random points land in exactly one region (up to boundary ties)."""
+        cells = voronoi_partition(NYC_BOX, 30, seed=5)
+        generator = np.random.default_rng(6)
+        lngs = generator.uniform(NYC_BOX.lng_lo, NYC_BOX.lng_hi, 2000)
+        lats = generator.uniform(NYC_BOX.lat_lo, NYC_BOX.lat_hi, 2000)
+        owners = np.zeros(2000, dtype=np.int64)
+        for polygon in cells:
+            owners += contains_points(polygon, lngs, lats)
+        assert (owners == 1).mean() > 0.999
+
+    def test_deterministic(self):
+        a = voronoi_partition(NYC_BOX, 10, seed=7)
+        b = voronoi_partition(NYC_BOX, 10, seed=7)
+        assert a[3].outer.vertices() == b[3].outer.vertices()
+
+    def test_regions_within_box(self):
+        cells = voronoi_partition(NYC_BOX, 15, seed=9)
+        margin = 1e-6
+        for polygon in cells:
+            mbr = polygon.mbr
+            assert mbr.lng_lo >= NYC_BOX.lng_lo - margin
+            assert mbr.lng_hi <= NYC_BOX.lng_hi + margin
+            assert mbr.lat_lo >= NYC_BOX.lat_lo - margin
+            assert mbr.lat_hi <= NYC_BOX.lat_hi + margin
+
+
+class TestDensification:
+    def test_hits_target_exactly(self):
+        ring = [(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)]
+        rng = np.random.default_rng(1)
+        dense = fractal_densify_ring(ring, 37, 0.05, rng)
+        assert len(dense) == 37
+
+    def test_no_op_when_target_below_current(self):
+        ring = [(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)]
+        rng = np.random.default_rng(1)
+        assert fractal_densify_ring(ring, 3, 0.05, rng) == ring
+
+    def test_original_vertices_preserved(self):
+        ring = [(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)]
+        rng = np.random.default_rng(1)
+        dense = fractal_densify_ring(ring, 16, 0.05, rng)
+        for vertex in ring:
+            assert vertex in dense
+
+
+class TestNamedPolygonDatasets:
+    @pytest.mark.parametrize("name", list(POLYGON_DATASETS))
+    def test_counts_and_vertices(self, name):
+        spec = POLYGON_DATASETS[name]
+        scale = 0.2 if name == "census" else 1.0
+        polygons = polygon_dataset(name, scale=scale)
+        assert len(polygons) == max(1, round(spec.num_polygons * scale))
+        mean_vertices = np.mean([p.num_vertices for p in polygons])
+        assert mean_vertices >= spec.avg_vertices * 0.9
+
+    def test_num_polygons_override(self):
+        polygons = polygon_dataset("census", num_polygons=12)
+        assert len(polygons) == 12
+
+    def test_boroughs_much_more_complex_than_census(self):
+        boroughs = polygon_dataset("boroughs")
+        census = polygon_dataset("census", num_polygons=50)
+        assert boroughs[0].num_vertices > 10 * census[0].num_vertices
+
+
+class TestPointGenerators:
+    def test_uniform_within_bounds(self):
+        lats, lngs = uniform_points(NYC_BOX, 5000, seed=1)
+        assert lngs.min() >= NYC_BOX.lng_lo and lngs.max() <= NYC_BOX.lng_hi
+        assert lats.min() >= NYC_BOX.lat_lo and lats.max() <= NYC_BOX.lat_hi
+
+    def test_clustered_within_bounds(self):
+        lats, lngs = clustered_points(NYC_BOX, 5000, seed=2)
+        assert lngs.min() >= NYC_BOX.lng_lo and lngs.max() <= NYC_BOX.lng_hi
+
+    def test_clustered_is_skewed(self):
+        lats, lngs = taxi_points(50_000)
+        hist, _, _ = np.histogram2d(lngs, lats, bins=20)
+        top_share = np.sort(hist.ravel())[::-1][:40].sum() / hist.sum()
+        assert top_share > 0.6  # paper: >90% in Manhattan+airports
+
+    def test_uniform_is_not_skewed(self):
+        lats, lngs = uniform_points(NYC_BOX, 50_000, seed=3)
+        hist, _, _ = np.histogram2d(lngs, lats, bins=20)
+        top_share = np.sort(hist.ravel())[::-1][:40].sum() / hist.sum()
+        assert top_share < 0.2
+
+    def test_deterministic(self):
+        a = taxi_points(1000, seed=5)
+        b = taxi_points(1000, seed=5)
+        assert (a[0] == b[0]).all() and (a[1] == b[1]).all()
+
+    def test_hotspot_fraction_validation(self):
+        with pytest.raises(ValueError):
+            clustered_points(NYC_BOX, 100, hotspot_fraction=1.5)
+
+    def test_uniform_points_for_covers_dataset_mbr(self):
+        polygons = polygon_dataset("neighborhoods", num_polygons=20)
+        lats, lngs = uniform_points_for(polygons, 2000)
+        bounds = Rect.empty()
+        for polygon in polygons:
+            bounds = bounds.union(polygon.mbr)
+        assert lngs.min() >= bounds.lng_lo and lngs.max() <= bounds.lng_hi
+
+
+class TestTwitterWorkloads:
+    def test_city_configs_match_paper(self):
+        assert TWITTER_CITIES["NYC"][0] == 289
+        assert TWITTER_CITIES["BOS"][0] == 42
+        assert TWITTER_CITIES["LA"][0] == 160
+        assert TWITTER_CITIES["SF"][0] == 117
+
+    def test_relative_point_counts(self):
+        nyc = twitter_points("NYC", 10_000)
+        bos = twitter_points("BOS", 10_000)
+        assert len(bos[0]) == round(10_000 * 13.6 / 83.1)
+        assert len(nyc[0]) == 10_000
+
+    def test_points_in_city_box(self):
+        for city in TWITTER_CITIES:
+            lats, lngs = twitter_points(city, 2000)
+            box = CITY_BOXES[city]
+            assert lngs.min() >= box.lng_lo and lngs.max() <= box.lng_hi
+
+    def test_polygon_counts(self):
+        assert len(twitter_polygons("BOS")) == 42
+
+    def test_deterministic_across_runs(self):
+        a = twitter_points("SF", 1000)
+        b = twitter_points("SF", 1000)
+        assert (a[0] == b[0]).all()

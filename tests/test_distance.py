@@ -1,0 +1,56 @@
+"""Tests for point-to-polygon distances."""
+
+import math
+
+import pytest
+
+from repro.geo.distance import (
+    METERS_PER_DEGREE,
+    boundary_distance_meters,
+    polygon_distance_meters,
+)
+from repro.geo.polygon import Polygon
+
+SQUARE = Polygon([(0.0, 0.0), (0.01, 0.0), (0.01, 0.01), (0.0, 0.01)])
+
+
+class TestBoundaryDistance:
+    def test_point_on_vertex(self):
+        assert boundary_distance_meters(SQUARE, 0.0, 0.0) == pytest.approx(0.0)
+
+    def test_point_on_edge(self):
+        assert boundary_distance_meters(SQUARE, 0.005, 0.0) == pytest.approx(0.0, abs=1e-6)
+
+    def test_point_beside_edge(self):
+        # 0.001 degrees east of the right edge at the equator.
+        distance = boundary_distance_meters(SQUARE, 0.011, 0.005)
+        assert distance == pytest.approx(0.001 * METERS_PER_DEGREE, rel=1e-3)
+
+    def test_interior_point_measures_to_boundary(self):
+        distance = boundary_distance_meters(SQUARE, 0.005, 0.005)
+        assert distance == pytest.approx(0.005 * METERS_PER_DEGREE, rel=1e-3)
+
+    def test_diagonal_distance_to_corner(self):
+        d = boundary_distance_meters(SQUARE, 0.013, 0.014)
+        expected = math.hypot(0.003, 0.004) * METERS_PER_DEGREE
+        assert d == pytest.approx(expected, rel=1e-3)
+
+    def test_latitude_scaling(self):
+        """Longitude offsets shrink with cos(lat)."""
+        north = Polygon([(0.0, 60.0), (0.01, 60.0), (0.01, 60.01), (0.0, 60.01)])
+        d_north = boundary_distance_meters(north, 0.02, 60.005)
+        d_equator = boundary_distance_meters(SQUARE, 0.02, 0.005)
+        assert d_north == pytest.approx(d_equator * math.cos(math.radians(60.0)), rel=0.01)
+
+
+class TestRegionDistance:
+    def test_inside_is_zero(self):
+        assert polygon_distance_meters(SQUARE, 0.005, 0.005) == 0.0
+
+    def test_outside_positive(self):
+        assert polygon_distance_meters(SQUARE, 0.02, 0.005) > 0.0
+
+    def test_matches_boundary_outside(self):
+        assert polygon_distance_meters(SQUARE, 0.02, 0.005) == pytest.approx(
+            boundary_distance_meters(SQUARE, 0.02, 0.005)
+        )

@@ -1,0 +1,73 @@
+"""Tests for the EdgeSet touching predicate (segment vs rect SAT test)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.edgeset import EdgeSet
+from repro.geo.polygon import Polygon, regular_polygon
+from repro.geo.rect import Rect
+
+coord = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False)
+
+
+def brute_force_touches(x0, y0, x1, y1, rect: Rect, samples: int = 2000) -> bool:
+    ts = np.linspace(0.0, 1.0, samples)
+    xs = x0 + ts * (x1 - x0)
+    ys = y0 + ts * (y1 - y0)
+    return bool(
+        np.any(
+            (xs >= rect.lng_lo)
+            & (xs <= rect.lng_hi)
+            & (ys >= rect.lat_lo)
+            & (ys <= rect.lat_hi)
+        )
+    )
+
+
+class TestTouching:
+    def setup_method(self):
+        self.polygon = regular_polygon((0.0, 0.0), 1.0, 12)
+        self.edges = EdgeSet([self.polygon], [0])
+
+    def test_all_edges_touch_big_rect(self):
+        mask = self.edges.touching(Rect(-2, 2, -2, 2))
+        assert mask.all()
+
+    def test_no_edges_touch_far_rect(self):
+        mask = self.edges.touching(Rect(5, 6, 5, 6))
+        assert not mask.any()
+
+    def test_interior_rect_misses_boundary(self):
+        mask = self.edges.touching(Rect(-0.1, 0.1, -0.1, 0.1))
+        assert not mask.any()
+
+    def test_subset_preserves_indices(self):
+        mask = self.edges.touching(Rect(0.5, 2, -2, 2))
+        sub = self.edges.subset(mask)
+        assert set(sub.index.tolist()) == set(np.nonzero(mask)[0].tolist())
+
+    def test_unique_pids(self):
+        multi = EdgeSet([self.polygon, regular_polygon((5, 5), 1, 5)], [3, 9])
+        assert multi.unique_pids() == {3, 9}
+        assert EdgeSet([], []).unique_pids() == set()
+
+    def test_empty_edgeset(self):
+        empty = EdgeSet([], [])
+        assert len(empty) == 0
+        assert empty.touching(Rect(0, 1, 0, 1)).shape == (0,)
+
+    @settings(max_examples=120, deadline=None)
+    @given(coord, coord, coord, coord, coord, coord, coord, coord)
+    def test_matches_brute_force(self, x0, y0, x1, y1, a, b, c, d):
+        rect = Rect(min(a, b), max(a, b), min(c, d), max(c, d))
+        polygon = Polygon([(x0, y0), (x1, y1), (x0 + 20.0, y0 + 20.0)])
+        edges = EdgeSet([polygon], [0])
+        exact = bool(edges.touching(rect)[0])  # first edge is (x0,y0)-(x1,y1)
+        sampled = brute_force_touches(x0, y0, x1, y1, rect)
+        if sampled:
+            # Sampling found a point of the segment inside the rect: the
+            # exact test must agree.
+            assert exact
+        # exact=True with sampled=False can happen for grazing contact
+        # between sample points: the exact test is the authority there.

@@ -1,0 +1,186 @@
+"""Tests for the join algorithms (Listing 3) and entry decoding."""
+
+import numpy as np
+import pytest
+
+from repro.cells import CellId, cell_ids_from_lat_lng_arrays
+from repro.core import PolygonIndex
+from repro.core.joins import (
+    accurate_join,
+    approximate_join,
+    decode_entries,
+    parallel_count_join,
+)
+from repro.core.lookup_table import LookupTable
+from repro.core.refs import PolygonRef
+from repro.geo.pip import contains_points
+
+
+@pytest.fixture(scope="module")
+def built(overlap_grid_polygons=None):
+    from repro.geo.polygon import regular_polygon
+
+    polygons = [
+        regular_polygon((-74.0 + gx * 0.02, 40.70 + gy * 0.02), 0.011, 16)
+        for gx in range(3)
+        for gy in range(3)
+    ]
+    index = PolygonIndex.build(polygons, precision_meters=30.0)
+    generator = np.random.default_rng(8)
+    lngs = generator.uniform(-74.03, -73.93, 25_000)
+    lats = generator.uniform(40.67, 40.77, 25_000)
+    ids = cell_ids_from_lat_lng_arrays(lats, lngs)
+    brute = np.vstack([contains_points(p, lngs, lats) for p in polygons])
+    return index, lngs, lats, ids, brute
+
+
+class TestDecodeEntries:
+    def test_single_ref(self):
+        table = LookupTable()
+        entry = table.encode((PolygonRef(5, True),))
+        points, pids, is_true = decode_entries(
+            np.asarray([entry, 0], dtype=np.uint64), table
+        )
+        assert points.tolist() == [0]
+        assert pids.tolist() == [5]
+        assert is_true.tolist() == [True]
+
+    def test_two_refs(self):
+        table = LookupTable()
+        entry = table.encode((PolygonRef(5, True), PolygonRef(9, False)))
+        points, pids, is_true = decode_entries(np.asarray([entry], dtype=np.uint64), table)
+        assert points.tolist() == [0, 0]
+        assert sorted(pids.tolist()) == [5, 9]
+        assert sorted(is_true.tolist()) == [False, True]
+
+    def test_offset_refs(self):
+        table = LookupTable()
+        refs = (PolygonRef(1, True), PolygonRef(2, False), PolygonRef(3, False))
+        entry = table.encode(refs)
+        points, pids, is_true = decode_entries(
+            np.asarray([0, entry, entry], dtype=np.uint64), table
+        )
+        assert points.tolist() == [1, 1, 1, 2, 2, 2]
+        assert pids[:3].tolist() == [1, 2, 3]
+        assert is_true[:3].tolist() == [True, False, False]
+
+    def test_all_misses(self):
+        points, pids, is_true = decode_entries(
+            np.zeros(5, dtype=np.uint64), LookupTable()
+        )
+        assert len(points) == len(pids) == len(is_true) == 0
+
+    def test_large_polygon_ids(self):
+        table = LookupTable()
+        big = (1 << 30) - 1
+        entry = table.encode((PolygonRef(big, False), PolygonRef(big - 1, True)))
+        _, pids, _ = decode_entries(np.asarray([entry], dtype=np.uint64), table)
+        assert sorted(pids.tolist()) == [big - 1, big]
+
+
+class TestAccurateJoin:
+    def test_matches_brute_force(self, built):
+        index, lngs, lats, ids, brute = built
+        result = accurate_join(
+            index.store, index.lookup_table, ids, index.polygons, lngs, lats
+        )
+        assert (result.counts == brute.sum(axis=1)).all()
+
+    def test_materialized_pairs_match(self, built):
+        index, lngs, lats, ids, brute = built
+        result = accurate_join(
+            index.store,
+            index.lookup_table,
+            ids,
+            index.polygons,
+            lngs,
+            lats,
+            materialize=True,
+        )
+        got = np.zeros_like(brute)
+        got[result.pair_polygons, result.pair_points] = True
+        assert (got == brute).all()
+
+    def test_pip_accounting(self, built):
+        index, lngs, lats, ids, _ = built
+        result = accurate_join(
+            index.store, index.lookup_table, ids, index.polygons, lngs, lats
+        )
+        assert result.num_pip_tests == result.num_candidate_pairs
+        assert 0 <= result.solely_true_hits <= result.num_points
+        assert result.sth_rate == result.solely_true_hits / result.num_points
+
+    def test_empty_batch(self, built):
+        index, lngs, lats, _, _ = built
+        result = accurate_join(
+            index.store,
+            index.lookup_table,
+            np.zeros(0, dtype=np.uint64),
+            index.polygons,
+            lngs[:0],
+            lats[:0],
+        )
+        assert result.num_points == 0
+        assert result.counts.sum() == 0
+
+
+class TestApproximateJoin:
+    def test_superset_of_exact(self, built):
+        """Approximate results contain every true pair (no false negatives)."""
+        index, lngs, lats, ids, brute = built
+        result = approximate_join(
+            index.store, index.lookup_table, ids, len(index.polygons), materialize=True
+        )
+        got = np.zeros_like(brute)
+        got[result.pair_polygons, result.pair_points] = True
+        assert not np.any(brute & ~got)
+
+    def test_never_runs_pip(self, built):
+        index, lngs, lats, ids, _ = built
+        result = approximate_join(index.store, index.lookup_table, ids, len(index.polygons))
+        assert result.num_pip_tests == 0
+        assert result.solely_true_hits == result.num_points
+
+    def test_counts_at_least_exact(self, built):
+        index, lngs, lats, ids, brute = built
+        result = approximate_join(index.store, index.lookup_table, ids, len(index.polygons))
+        assert (result.counts >= brute.sum(axis=1)).all()
+
+
+class TestParallelJoin:
+    @pytest.mark.parametrize("threads", [1, 2, 4])
+    def test_approx_counts_match_serial(self, built, threads):
+        index, lngs, lats, ids, _ = built
+        serial = approximate_join(index.store, index.lookup_table, ids, len(index.polygons))
+        parallel = parallel_count_join(
+            index.store, index.lookup_table, ids, len(index.polygons), threads
+        )
+        assert (serial.counts == parallel.counts).all()
+        assert serial.num_pairs == parallel.num_pairs
+
+    def test_exact_counts_match_serial(self, built):
+        index, lngs, lats, ids, brute = built
+        parallel = parallel_count_join(
+            index.store,
+            index.lookup_table,
+            ids,
+            len(index.polygons),
+            num_threads=2,
+            polygons=index.polygons,
+            lngs=lngs,
+            lats=lats,
+        )
+        assert (parallel.counts == brute.sum(axis=1)).all()
+
+    def test_small_batches(self, built):
+        index, lngs, lats, ids, _ = built
+        serial = approximate_join(index.store, index.lookup_table, ids[:100], len(index.polygons))
+        parallel = parallel_count_join(
+            index.store,
+            index.lookup_table,
+            ids[:100],
+            len(index.polygons),
+            num_threads=4,
+            batch_size=7,
+        )
+        assert (serial.counts == parallel.counts).all()

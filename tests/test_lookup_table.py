@@ -1,0 +1,111 @@
+"""Tests for the tagged-entry encoding and the lookup table."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.lookup_table import (
+    TAG_OFFSET,
+    TAG_ONE_REF,
+    TAG_TWO_REFS,
+    LookupTable,
+)
+from repro.core.refs import PolygonRef
+
+
+def refs_strategy(min_size=1, max_size=8):
+    return st.lists(
+        st.integers(min_value=0, max_value=1000), unique=True,
+        min_size=min_size, max_size=max_size,
+    ).flatmap(
+        lambda ids: st.tuples(*[st.booleans() for _ in ids]).map(
+            lambda flags: tuple(
+                PolygonRef(pid, flag) for pid, flag in zip(sorted(ids), flags)
+            )
+        )
+    )
+
+
+class TestEncoding:
+    def test_one_ref_inlined(self):
+        table = LookupTable()
+        entry = table.encode((PolygonRef(7, True),))
+        assert entry & 3 == TAG_ONE_REF
+        assert len(table) == 0  # nothing spilled to the table
+
+    def test_two_refs_inlined(self):
+        table = LookupTable()
+        entry = table.encode((PolygonRef(7, True), PolygonRef(9, False)))
+        assert entry & 3 == TAG_TWO_REFS
+        assert len(table) == 0
+
+    def test_three_refs_use_offset(self):
+        table = LookupTable()
+        refs = (PolygonRef(1, True), PolygonRef(2, False), PolygonRef(3, False))
+        entry = table.encode(refs)
+        assert entry & 3 == TAG_OFFSET
+        assert len(table) > 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LookupTable().encode(())
+
+    def test_oversized_polygon_id_rejected(self):
+        with pytest.raises(ValueError):
+            LookupTable().encode((PolygonRef(1 << 30, False),))
+
+    def test_max_polygon_id_roundtrips(self):
+        table = LookupTable()
+        refs = (PolygonRef((1 << 30) - 1, True),)
+        assert table.decode_entry(table.encode(refs)) == refs
+
+    @given(refs_strategy())
+    def test_roundtrip(self, refs):
+        table = LookupTable()
+        assert table.decode_entry(table.encode(refs)) == refs
+
+
+class TestDeduplication:
+    def test_identical_lists_share_offsets(self):
+        table = LookupTable()
+        refs = (PolygonRef(1, True), PolygonRef(2, False), PolygonRef(3, True))
+        first = table.encode(refs)
+        second = table.encode(refs)
+        assert first == second
+        assert table.num_lists == 1
+
+    def test_distinct_lists_get_distinct_offsets(self):
+        table = LookupTable()
+        a = table.encode((PolygonRef(1, True), PolygonRef(2, False), PolygonRef(3, True)))
+        b = table.encode((PolygonRef(4, True), PolygonRef(5, False), PolygonRef(6, True)))
+        assert a != b
+        assert table.num_lists == 2
+
+
+class TestArrayLayout:
+    def test_encoding_structure(self):
+        table = LookupTable()
+        refs = (PolygonRef(10, True), PolygonRef(20, False), PolygonRef(30, False))
+        entry = table.encode(refs)
+        offset = entry >> 2
+        data = table.array
+        assert data[offset] == 1  # one true hit
+        assert data[offset + 1] == 10
+        assert data[offset + 2] == 2  # two candidates
+        assert list(data[offset + 3 : offset + 5]) == [20, 30]
+
+    def test_size_bytes(self):
+        table = LookupTable()
+        table.encode((PolygonRef(1, True), PolygonRef(2, False), PolygonRef(3, False)))
+        assert table.size_bytes == 4 * len(table)
+
+    def test_decode_pointer_entry_rejected(self):
+        with pytest.raises(ValueError):
+            LookupTable().decode_entry(0b100)  # tag 0 = pointer
+
+    def test_array_refreshes_after_insert(self):
+        table = LookupTable()
+        table.encode((PolygonRef(1, True), PolygonRef(2, False), PolygonRef(3, False)))
+        first = len(table.array)
+        table.encode((PolygonRef(5, True), PolygonRef(6, False), PolygonRef(7, False)))
+        assert len(table.array) > first

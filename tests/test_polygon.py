@@ -1,0 +1,92 @@
+"""Unit tests for repro.geo.polygon and WKT IO."""
+
+import numpy as np
+import pytest
+
+from repro.geo.polygon import Polygon, Ring, regular_polygon
+from repro.geo.wkt import polygon_from_wkt, polygon_to_wkt
+
+
+class TestRing:
+    def test_requires_three_vertices(self):
+        with pytest.raises(ValueError):
+            Ring([(0, 0), (1, 1)])
+
+    def test_strips_explicit_closure(self):
+        ring = Ring([(0, 0), (1, 0), (1, 1), (0, 0)])
+        assert ring.num_vertices == 3
+
+    def test_edges_wrap_around(self):
+        ring = Ring([(0, 0), (1, 0), (0, 1)])
+        x0, y0, x1, y1 = ring.edges()
+        assert (x1[-1], y1[-1]) == (0, 0)  # last edge closes the ring
+
+    def test_signed_area_ccw_positive(self):
+        ccw = Ring([(0, 0), (1, 0), (1, 1), (0, 1)])
+        cw = Ring([(0, 0), (0, 1), (1, 1), (1, 0)])
+        assert ccw.signed_area() == pytest.approx(1.0)
+        assert cw.signed_area() == pytest.approx(-1.0)
+
+    def test_mbr(self):
+        ring = Ring([(0, 0), (2, -1), (1, 3)])
+        assert ring.mbr.lng_lo == 0 and ring.mbr.lng_hi == 2
+        assert ring.mbr.lat_lo == -1 and ring.mbr.lat_hi == 3
+
+
+class TestPolygon:
+    def test_area_subtracts_holes(self, holed_polygon):
+        full = abs(holed_polygon.outer.signed_area())
+        assert holed_polygon.area() < full
+
+    def test_num_edges_counts_all_rings(self, holed_polygon):
+        assert holed_polygon.num_edges == 8
+
+    def test_all_edges_concatenates_rings(self, holed_polygon):
+        x0, _, _, _ = holed_polygon.all_edges()
+        assert len(x0) == 8
+
+    def test_all_edges_cached(self, holed_polygon):
+        assert holed_polygon.all_edges()[0] is holed_polygon.all_edges()[0]
+
+    def test_mbr_is_outer_mbr(self, holed_polygon):
+        assert holed_polygon.mbr == holed_polygon.outer.mbr
+
+    def test_accepts_raw_vertex_lists(self):
+        polygon = Polygon([(0, 0), (1, 0), (0, 1)])
+        assert polygon.num_vertices == 3
+
+    def test_regular_polygon(self):
+        polygon = regular_polygon((0.0, 0.0), 1.0, 8)
+        assert polygon.num_vertices == 8
+        radii = np.hypot(polygon.outer.lngs, polygon.outer.lats)
+        assert np.allclose(radii, 1.0)
+
+
+class TestWkt:
+    def test_roundtrip_simple(self):
+        polygon = Polygon([(0, 0), (1, 0), (1, 1)])
+        restored = polygon_from_wkt(polygon_to_wkt(polygon))
+        assert restored.outer.vertices() == polygon.outer.vertices()
+
+    def test_roundtrip_with_hole(self, holed_polygon):
+        restored = polygon_from_wkt(polygon_to_wkt(holed_polygon))
+        assert len(restored.holes) == 1
+        assert restored.holes[0].num_vertices == 4
+
+    def test_parse_case_insensitive(self):
+        polygon = polygon_from_wkt("polygon ((0 0, 1 0, 1 1, 0 0))")
+        assert polygon.num_vertices == 3
+
+    def test_rejects_non_polygon(self):
+        with pytest.raises(ValueError):
+            polygon_from_wkt("POINT (1 2)")
+
+    def test_rejects_bad_coordinates(self):
+        with pytest.raises(ValueError):
+            polygon_from_wkt("POLYGON ((0 0 9, 1 0, 1 1, 0 0))")
+
+    def test_wkt_closes_rings(self):
+        text = polygon_to_wkt(Polygon([(0, 0), (1, 0), (1, 1)]))
+        ring = text[text.index("((") + 2 : text.index("))")]
+        coords = [c.strip() for c in ring.split(",")]
+        assert coords[0] == coords[-1]

@@ -1,0 +1,90 @@
+"""Tests for the PG baseline: insertion-built GiST R-tree."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GiSTIndex, RTree
+from repro.geo.pip import contains_points
+from repro.geo.polygon import regular_polygon
+
+
+@pytest.fixture(scope="module")
+def polygons():
+    generator = np.random.default_rng(29)
+    result = []
+    for _ in range(250):
+        cx = generator.uniform(-74.05, -73.90)
+        cy = generator.uniform(40.65, 40.80)
+        result.append(regular_polygon((cx, cy), generator.uniform(0.001, 0.008), 8))
+    return result
+
+
+@pytest.fixture(scope="module")
+def points():
+    generator = np.random.default_rng(31)
+    lngs = generator.uniform(-74.06, -73.89, 6000)
+    lats = generator.uniform(40.64, 40.81, 6000)
+    return lngs, lats
+
+
+class TestCorrectness:
+    def test_join_matches_brute_force(self, polygons, points):
+        lngs, lats = points
+        result = GiSTIndex(polygons).join(lngs, lats)
+        brute = np.array([contains_points(p, lngs, lats).sum() for p in polygons])
+        assert (result.counts == brute).all()
+
+    def test_same_candidates_as_rtree(self, polygons, points):
+        """Different trees, same candidate semantics (MBR containment)."""
+        lngs, lats = points
+        g_pts, g_pids, _ = GiSTIndex(polygons).candidates(lngs, lats)
+        r_pts, r_pids, _ = RTree(polygons).candidates(lngs, lats)
+        assert set(zip(g_pts.tolist(), g_pids.tolist())) == set(
+            zip(r_pts.tolist(), r_pids.tolist())
+        )
+
+
+class TestTreeInvariants:
+    def test_capacity_respected(self, polygons):
+        tree = GiSTIndex(polygons)
+        for level in tree._levels:
+            occupancy = (level.children >= 0).sum(axis=1)
+            assert occupancy.max() <= tree.capacity
+
+    def test_min_fill_after_splits(self, polygons):
+        tree = GiSTIndex(polygons, capacity=10)
+        # Every node except possibly the root holds >= min_fill entries.
+        for depth, level in enumerate(tree._levels):
+            occupancy = (level.children >= 0).sum(axis=1)
+            if depth == 0:
+                continue
+            assert occupancy.min() >= tree.min_fill
+
+    def test_parent_boxes_cover_children(self, polygons):
+        tree = GiSTIndex(polygons, capacity=10)
+        for depth in range(len(tree._levels) - 1):
+            level = tree._levels[depth]
+            below = tree._levels[depth + 1]
+            for node in range(level.boxes.shape[0]):
+                for slot in range(tree.capacity):
+                    child = level.children[node, slot]
+                    if child < 0:
+                        continue
+                    parent_box = level.boxes[node, slot]
+                    child_occupied = below.children[child] >= 0
+                    if not child_occupied.any():
+                        continue
+                    child_boxes = below.boxes[child][child_occupied]
+                    assert (child_boxes[:, 0] >= parent_box[0] - 1e-12).all()
+                    assert (child_boxes[:, 1] <= parent_box[1] + 1e-12).all()
+                    assert (child_boxes[:, 2] >= parent_box[2] - 1e-12).all()
+                    assert (child_boxes[:, 3] <= parent_box[3] + 1e-12).all()
+
+    def test_all_polygons_reachable(self, polygons):
+        tree = GiSTIndex(polygons, capacity=10)
+        leaf_level = tree._levels[-1]
+        pids = leaf_level.children[leaf_level.children >= 0]
+        assert sorted(pids.tolist()) == list(range(len(polygons)))
+
+    def test_name(self, polygons):
+        assert GiSTIndex(polygons[:5]).name == "PG"

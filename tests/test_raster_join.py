@@ -1,0 +1,121 @@
+"""Tests for the BRJ/ARJ raster join (GPU substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import RasterJoin
+from repro.geo.pip import contains_points
+from repro.geo.polygon import regular_polygon
+from repro.geo.rect import Rect
+
+
+@pytest.fixture(scope="module")
+def polygons():
+    return [
+        regular_polygon((-74.0 + gx * 0.02, 40.70 + gy * 0.02), 0.011, 16)
+        for gx in range(3)
+        for gy in range(3)
+    ]
+
+
+@pytest.fixture(scope="module")
+def points():
+    generator = np.random.default_rng(51)
+    lngs = generator.uniform(-74.04, -73.92, 15_000)
+    lats = generator.uniform(40.66, 40.78, 15_000)
+    return lngs, lats
+
+
+@pytest.fixture(scope="module")
+def brute(polygons, points):
+    lngs, lats = points
+    return np.array([contains_points(p, lngs, lats).sum() for p in polygons])
+
+
+class TestAccurate:
+    def test_arj_matches_brute_force(self, polygons, points, brute):
+        lngs, lats = points
+        raster = RasterJoin(polygons, precision_meters=None, max_texture=512)
+        result = raster.join(lngs, lats)
+        assert (result.counts == brute).all()
+
+    def test_arj_single_pass(self, polygons):
+        raster = RasterJoin(polygons, precision_meters=None, max_texture=256)
+        assert raster.num_passes == 1
+        assert raster.name == "ARJ"
+
+    def test_arj_runs_pip_only_on_boundary_pixels(self, polygons, points):
+        lngs, lats = points
+        raster = RasterJoin(polygons, precision_meters=None, max_texture=512)
+        result = raster.join(lngs, lats)
+        assert 0 < result.num_pip_tests < len(lngs)
+
+
+class TestBounded:
+    def test_brj_error_decreases_with_precision(self, polygons, points, brute):
+        lngs, lats = points
+        errors = []
+        for precision in (120.0, 30.0):
+            raster = RasterJoin(polygons, precision_meters=precision, max_texture=1024)
+            result = raster.join(lngs, lats)
+            errors.append(abs(result.counts - brute).sum())
+        assert errors[1] < errors[0]
+
+    def test_brj_superset_of_exact(self, polygons, points, brute):
+        lngs, lats = points
+        raster = RasterJoin(polygons, precision_meters=60.0, max_texture=1024)
+        result = raster.join(lngs, lats)
+        assert (result.counts >= brute).all()
+
+    def test_multi_pass_when_grid_exceeds_texture(self, polygons):
+        raster = RasterJoin(polygons, precision_meters=10.0, max_texture=256)
+        assert raster.num_passes > 1
+
+    def test_multi_pass_results_equal_single_pass(self, polygons, points):
+        lngs, lats = points
+        small = RasterJoin(polygons, precision_meters=30.0, max_texture=256)
+        large = RasterJoin(polygons, precision_meters=30.0, max_texture=4096)
+        assert small.num_passes > large.num_passes
+        a = small.join(lngs, lats)
+        b = large.join(lngs, lats)
+        assert (a.counts == b.counts).all()
+
+    def test_exact_override_on_bounded_build(self, polygons, points, brute):
+        lngs, lats = points
+        raster = RasterJoin(polygons, precision_meters=60.0, max_texture=1024)
+        result = raster.join(lngs, lats, exact=True)
+        assert (result.counts == brute).all()
+
+
+class TestGrid:
+    def test_points_outside_bounds_miss(self, polygons):
+        raster = RasterJoin(polygons, precision_meters=None, max_texture=256)
+        result = raster.join(np.asarray([-80.0, 10.0]), np.asarray([40.7, 40.7]))
+        assert result.counts.sum() == 0
+
+    def test_power_of_two_texture_enforced(self, polygons):
+        with pytest.raises(ValueError):
+            RasterJoin(polygons, max_texture=1000)
+
+    def test_custom_bounds(self, polygons, points):
+        lngs, lats = points
+        bounds = Rect(-74.05, -73.91, 40.65, 40.79)
+        raster = RasterJoin(polygons, precision_meters=None, max_texture=512, bounds=bounds)
+        assert raster.bounds == bounds
+        result = raster.join(lngs, lats)
+        assert result.counts.sum() > 0
+
+    def test_describe(self, polygons):
+        raster = RasterJoin(polygons, precision_meters=60.0, max_texture=512)
+        info = raster.describe()
+        assert info["variant"] == "BRJ60m"
+        assert info["passes"] == raster.num_passes
+
+    def test_overlapping_polygons_multi_coverage(self, points):
+        """Deep overlaps exercise the overflow spill path."""
+        lngs, lats = points
+        stack = [regular_polygon((-73.98, 40.72), 0.01 - 0.001 * k, 12) for k in range(4)]
+        raster = RasterJoin(stack, precision_meters=None, max_texture=512)
+        result = raster.join(lngs, lats)
+        brute = np.array([contains_points(p, lngs, lats).sum() for p in stack])
+        assert (result.counts == brute).all()

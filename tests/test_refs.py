@@ -1,0 +1,71 @@
+"""Tests for polygon references and merging semantics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.refs import MAX_POLYGON_ID, PolygonRef, merge_refs, validate_polygon_id
+
+
+class TestPacking:
+    def test_packed_layout(self):
+        assert PolygonRef(5, True).packed() == (5 << 1) | 1
+        assert PolygonRef(5, False).packed() == 5 << 1
+
+    @given(st.integers(min_value=0, max_value=MAX_POLYGON_ID), st.booleans())
+    def test_roundtrip(self, pid, interior):
+        ref = PolygonRef(pid, interior)
+        assert PolygonRef.from_packed(ref.packed()) == ref
+
+    def test_validate_accepts_max(self):
+        assert validate_polygon_id(MAX_POLYGON_ID) == MAX_POLYGON_ID
+
+    def test_validate_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            validate_polygon_id(MAX_POLYGON_ID + 1)
+
+    def test_validate_rejects_negative(self):
+        with pytest.raises(ValueError):
+            validate_polygon_id(-1)
+
+
+class TestMerge:
+    def test_interior_dominates(self):
+        merged = merge_refs([PolygonRef(1, False)], [PolygonRef(1, True)])
+        assert merged == (PolygonRef(1, True),)
+
+    def test_interior_dominates_either_order(self):
+        merged = merge_refs([PolygonRef(1, True)], [PolygonRef(1, False)])
+        assert merged == (PolygonRef(1, True),)
+
+    def test_distinct_polygons_kept(self):
+        merged = merge_refs([PolygonRef(2, False), PolygonRef(1, True)])
+        assert merged == (PolygonRef(1, True), PolygonRef(2, False))
+
+    def test_result_sorted_by_id(self):
+        merged = merge_refs([PolygonRef(9, False)], [PolygonRef(3, False)])
+        assert [r.polygon_id for r in merged] == [3, 9]
+
+    def test_empty(self):
+        assert merge_refs() == ()
+        assert merge_refs([]) == ()
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=20), st.booleans()),
+            max_size=30,
+        )
+    )
+    def test_canonical_and_idempotent(self, raw):
+        refs = [PolygonRef(pid, flag) for pid, flag in raw]
+        merged = merge_refs(refs)
+        # Each polygon appears exactly once.
+        ids = [r.polygon_id for r in merged]
+        assert ids == sorted(set(ids))
+        # Re-merging is a no-op (canonical form).
+        assert merge_refs(merged) == merged
+        # A polygon is interior iff any input said so.
+        for ref in merged:
+            assert ref.interior == any(
+                pid == ref.polygon_id and flag for pid, flag in raw
+            )

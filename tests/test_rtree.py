@@ -1,0 +1,102 @@
+"""Tests for the RT baseline: the STR-packed R-tree."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import RTree
+from repro.geo.pip import contains_points
+from repro.geo.polygon import regular_polygon
+
+
+@pytest.fixture(scope="module")
+def polygons():
+    generator = np.random.default_rng(13)
+    result = []
+    for _ in range(60):
+        cx = generator.uniform(-74.05, -73.90)
+        cy = generator.uniform(40.65, 40.80)
+        result.append(regular_polygon((cx, cy), generator.uniform(0.002, 0.01), 10))
+    return result
+
+
+@pytest.fixture(scope="module")
+def points():
+    generator = np.random.default_rng(14)
+    lngs = generator.uniform(-74.06, -73.89, 8000)
+    lats = generator.uniform(40.64, 40.81, 8000)
+    return lngs, lats
+
+
+class TestCandidates:
+    def test_matches_brute_force_mbr_scan(self, polygons, points):
+        lngs, lats = points
+        tree = RTree(polygons)
+        cand_points, cand_pids, _ = tree.candidates(lngs, lats)
+        got = set(zip(cand_points.tolist(), cand_pids.tolist()))
+        expected = set()
+        for pid, polygon in enumerate(polygons):
+            mbr = polygon.mbr
+            inside = (
+                (lngs >= mbr.lng_lo)
+                & (lngs <= mbr.lng_hi)
+                & (lats >= mbr.lat_lo)
+                & (lats <= mbr.lat_hi)
+            )
+            expected.update((int(k), pid) for k in np.nonzero(inside)[0])
+        assert got == expected
+
+    def test_node_accesses_reported(self, polygons, points):
+        lngs, lats = points
+        _, _, accesses = RTree(polygons).candidates(lngs, lats)
+        assert accesses >= len(lngs)
+
+    def test_empty_tree(self):
+        tree = RTree([])
+        pts, pids, _ = tree.candidates(np.asarray([0.0]), np.asarray([0.0]))
+        assert len(pts) == 0 and len(pids) == 0
+
+
+class TestJoin:
+    def test_matches_brute_force(self, polygons, points):
+        lngs, lats = points
+        tree = RTree(polygons)
+        result = tree.join(lngs, lats)
+        brute = np.array([contains_points(p, lngs, lats).sum() for p in polygons])
+        assert (result.counts == brute).all()
+
+    def test_materialized_pairs(self, polygons, points):
+        lngs, lats = points
+        result = RTree(polygons).join(lngs, lats, materialize=True)
+        for pt, pid in zip(result.pair_points[:50], result.pair_polygons[:50]):
+            assert contains_points(
+                polygons[pid], lngs[pt : pt + 1], lats[pt : pt + 1]
+            )[0]
+
+    def test_pip_count_equals_candidates(self, polygons, points):
+        lngs, lats = points
+        result = RTree(polygons).join(lngs, lats)
+        assert result.num_pip_tests == result.num_candidate_pairs
+        assert result.num_pip_tests >= result.num_pairs
+
+
+class TestStructure:
+    def test_balanced_height(self, polygons):
+        tree = RTree(polygons)
+        # 60 polygons at capacity 8: 8 leaves -> 1 root = height 2.
+        assert tree.height == 2
+
+    def test_single_node_for_few_polygons(self):
+        tree = RTree([regular_polygon((0, 0), 1, 5)])
+        assert tree.height == 1
+
+    def test_capacity_override(self, polygons):
+        tree = RTree(polygons, capacity=4)
+        assert tree.capacity == 4
+        assert tree.height >= 2
+
+    def test_size_and_describe(self, polygons):
+        tree = RTree(polygons)
+        info = tree.describe()
+        assert info["variant"] == "RT"
+        assert info["num_polygons"] == 60
+        assert info["size_bytes"] == tree.size_bytes > 0

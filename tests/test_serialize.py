@@ -1,0 +1,104 @@
+"""Tests for index persistence (save_index / load_index)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import SortedVectorStore
+from repro.core import PolygonIndex
+from repro.core.serialize import load_index, save_index
+from repro.geo.polygon import regular_polygon
+
+
+@pytest.fixture(scope="module")
+def polygons():
+    return [
+        regular_polygon((-74.00, 40.70), 0.006, 14),
+        regular_polygon((-73.98, 40.70), 0.006, 9),
+        regular_polygon((-74.00, 40.72), 0.006, 21),
+    ]
+
+
+@pytest.fixture(scope="module")
+def points():
+    generator = np.random.default_rng(61)
+    lngs = generator.uniform(-74.01, -73.97, 8000)
+    lats = generator.uniform(40.69, 40.73, 8000)
+    return lngs, lats
+
+
+class TestRoundTrip:
+    def test_exact_join_preserved(self, polygons, points, tmp_path):
+        lngs, lats = points
+        original = PolygonIndex.build(polygons, precision_meters=60.0)
+        path = tmp_path / "index.npz"
+        save_index(original, path)
+        restored = load_index(path)
+        a = original.join(lats, lngs, exact=True)
+        b = restored.join(lats, lngs, exact=True)
+        assert (a.counts == b.counts).all()
+
+    def test_approximate_join_preserved(self, polygons, points, tmp_path):
+        lngs, lats = points
+        original = PolygonIndex.build(polygons, precision_meters=60.0)
+        path = tmp_path / "index.npz"
+        save_index(original, path)
+        restored = load_index(path)
+        a = original.join(lats, lngs)
+        b = restored.join(lats, lngs)
+        assert (a.counts == b.counts).all()
+
+    def test_metadata_preserved(self, polygons, tmp_path):
+        original = PolygonIndex.build(polygons, precision_meters=15.0, fanout_bits=4)
+        path = tmp_path / "index.npz"
+        save_index(original, path)
+        restored = load_index(path)
+        assert restored.precision_meters == 15.0
+        assert restored.store.fanout_bits == 4
+        assert len(restored.polygons) == 3
+        assert restored.num_cells == original.num_cells
+
+    def test_polygon_geometry_preserved(self, polygons, tmp_path):
+        original = PolygonIndex.build(polygons)
+        path = tmp_path / "index.npz"
+        save_index(original, path)
+        restored = load_index(path)
+        for a, b in zip(original.polygons, restored.polygons):
+            assert np.allclose(a.outer.lngs, b.outer.lngs)
+            assert np.allclose(a.outer.lats, b.outer.lats)
+
+    def test_trained_index_roundtrip(self, polygons, points, tmp_path):
+        from repro.cells import cell_ids_from_lat_lng_arrays
+
+        lngs, lats = points
+        train_ids = cell_ids_from_lat_lng_arrays(lats[:2000], lngs[:2000])
+        original = PolygonIndex.build(polygons, training_cell_ids=train_ids)
+        path = tmp_path / "trained.npz"
+        save_index(original, path)
+        restored = load_index(path)
+        a = original.join(lats, lngs, exact=True)
+        b = restored.join(lats, lngs, exact=True)
+        assert (a.counts == b.counts).all()
+        assert a.num_pip_tests == b.num_pip_tests  # training state survived
+
+
+class TestErrors:
+    def test_non_act_store_rejected(self, polygons, tmp_path):
+        index = PolygonIndex.build(polygons, store_factory=SortedVectorStore)
+        with pytest.raises(NotImplementedError):
+            save_index(index, tmp_path / "x.npz")
+
+    def test_version_check(self, polygons, tmp_path):
+        import json
+
+        index = PolygonIndex.build(polygons)
+        path = tmp_path / "index.npz"
+        save_index(index, path)
+        with np.load(path, allow_pickle=True) as archive:
+            payload = {k: archive[k] for k in archive.files}
+        meta = json.loads(bytes(payload["meta"]).decode("utf-8"))
+        meta["format_version"] = 999
+        payload["meta"] = np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+        bad = tmp_path / "bad.npz"
+        np.savez_compressed(bad, **payload)
+        with pytest.raises(ValueError):
+            load_index(bad)

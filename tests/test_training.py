@@ -1,0 +1,139 @@
+"""Tests for index training with historical points (Section 3.3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.cells import cell_ids_from_lat_lng_arrays
+from repro.core import PolygonIndex
+from repro.core.act import AdaptiveCellTrie
+from repro.core.joins import accurate_join
+from repro.core.lookup_table import LookupTable
+from repro.core.training import solely_true_hit_rate, train_super_covering
+from repro.geo.pip import contains_points
+
+
+@pytest.fixture(scope="module")
+def setup(overlap_grid_polygons=None):
+    from repro.geo.polygon import regular_polygon
+
+    polygons = [
+        regular_polygon((-74.0 + gx * 0.02, 40.70 + gy * 0.02), 0.011, 16)
+        for gx in range(3)
+        for gy in range(3)
+    ]
+    generator = np.random.default_rng(21)
+    # Historical (training) and future (query) draws of the same process.
+    train_lngs = generator.uniform(-74.03, -73.93, 30_000)
+    train_lats = generator.uniform(40.67, 40.77, 30_000)
+    query_lngs = generator.uniform(-74.03, -73.93, 30_000)
+    query_lats = generator.uniform(40.67, 40.77, 30_000)
+    train_ids = cell_ids_from_lat_lng_arrays(train_lats, train_lngs)
+    query_ids = cell_ids_from_lat_lng_arrays(query_lats, query_lngs)
+    brute = np.array(
+        [contains_points(p, query_lngs, query_lats).sum() for p in polygons]
+    )
+    return polygons, train_ids, query_ids, query_lngs, query_lats, brute
+
+
+def build_base(polygons) -> PolygonIndex:
+    return PolygonIndex.build(polygons)
+
+
+class TestTraining:
+    def test_training_reduces_pip_tests(self, setup):
+        polygons, train_ids, query_ids, qlngs, qlats, _ = setup
+        index = build_base(polygons)
+        before = accurate_join(
+            index.store, index.lookup_table, query_ids, polygons, qlngs, qlats
+        )
+        report = train_super_covering(index.super_covering, polygons, train_ids)
+        assert report.cells_split > 0
+        trained = AdaptiveCellTrie(index.super_covering, 8, LookupTable())
+        after = accurate_join(
+            trained, trained.lookup_table, query_ids, polygons, qlngs, qlats
+        )
+        assert after.num_pip_tests < before.num_pip_tests
+
+    def test_training_preserves_exact_results(self, setup):
+        polygons, train_ids, query_ids, qlngs, qlats, brute = setup
+        index = build_base(polygons)
+        train_super_covering(index.super_covering, polygons, train_ids)
+        index.super_covering.check_disjoint()
+        trained = AdaptiveCellTrie(index.super_covering, 8, LookupTable())
+        result = accurate_join(
+            trained, trained.lookup_table, query_ids, polygons, qlngs, qlats
+        )
+        assert (result.counts == brute).all()
+
+    def test_training_raises_sth(self, setup):
+        polygons, train_ids, query_ids, _, _, _ = setup
+        index = build_base(polygons)
+        before = solely_true_hit_rate(index.super_covering, query_ids)
+        train_super_covering(index.super_covering, polygons, train_ids)
+        after = solely_true_hit_rate(index.super_covering, query_ids)
+        assert after > before
+
+    def test_budget_stops_training(self, setup):
+        polygons, train_ids, _, _, _, _ = setup
+        index = build_base(polygons)
+        budget = index.num_cells + 50
+        report = train_super_covering(
+            index.super_covering, polygons, train_ids, max_cells=budget
+        )
+        assert report.budget_exhausted
+        # The budget is a stopping criterion, checked before each split; a
+        # single split can add at most 4 cells beyond it.
+        assert index.num_cells <= budget + 4
+
+    def test_no_training_points_is_noop(self, setup):
+        polygons, _, _, _, _, _ = setup
+        index = build_base(polygons)
+        cells_before = index.num_cells
+        report = train_super_covering(
+            index.super_covering, polygons, np.zeros(0, dtype=np.uint64)
+        )
+        assert report.points_processed == 0
+        assert index.num_cells == cells_before
+
+    def test_points_outside_polygons_do_nothing(self, setup):
+        polygons, _, _, _, _, _ = setup
+        index = build_base(polygons)
+        cells_before = index.num_cells
+        far = cell_ids_from_lat_lng_arrays(
+            np.asarray([10.0, -45.0]), np.asarray([100.0, 3.0])
+        )
+        report = train_super_covering(index.super_covering, polygons, far)
+        assert report.points_hit_expensive == 0
+        assert index.num_cells == cells_before
+
+    def test_repeated_hits_refine_deeper(self, setup):
+        """Many training points in one hotspot push cells below one split."""
+        polygons, _, _, _, _, _ = setup
+        index = build_base(polygons)
+        # Pick an actual expensive (candidate) cell and shower it with
+        # training points spread across its area.
+        expensive = [
+            cell
+            for cell, refs in index.super_covering.items()
+            if any(not ref.interior for ref in refs) and cell.level < 25
+        ]
+        target = expensive[len(expensive) // 2]
+        generator = np.random.default_rng(77)
+        lo = target.range_min().id
+        hi = target.range_max().id
+        hotspot = (
+            generator.integers(lo, hi + 1, size=200, dtype=np.uint64)
+            | np.uint64(1)
+        )
+        report = train_super_covering(index.super_covering, polygons, hotspot)
+        # Points keep landing in the (smaller) expensive children.
+        assert report.cells_split > 1
+
+    def test_via_builder_api(self, setup):
+        polygons, train_ids, query_ids, qlngs, qlats, brute = setup
+        qlats_arr = qlats
+        index = PolygonIndex.build(polygons, training_cell_ids=train_ids)
+        assert index.training_report is not None
+        assert index.training_report.points_processed == len(train_ids)
+        result = index.join(qlats_arr, qlngs, exact=True, cell_ids=query_ids)
+        assert (result.counts == brute).all()

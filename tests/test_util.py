@@ -1,0 +1,57 @@
+"""Unit tests for repro.util timing and table formatting."""
+
+import time
+
+from repro.util.tables import format_table
+from repro.util.timing import Timer, throughput_mpts
+
+
+class TestTimer:
+    def test_measures_elapsed_time(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.seconds >= 0.009
+
+    def test_zero_before_use(self):
+        assert Timer().seconds == 0.0
+
+    def test_reusable(self):
+        timer = Timer()
+        with timer:
+            pass
+        first = timer.seconds
+        with timer:
+            time.sleep(0.005)
+        assert timer.seconds >= first
+
+
+class TestThroughput:
+    def test_basic(self):
+        assert throughput_mpts(2_000_000, 1.0) == 2.0
+
+    def test_zero_seconds(self):
+        assert throughput_mpts(100, 0.0) == 0.0
+
+    def test_negative_guard(self):
+        assert throughput_mpts(100, -1.0) == 0.0
+
+
+class TestFormatTable:
+    def test_includes_headers_and_rows(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [30, "x"]])
+        lines = text.splitlines()
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "30" in text and "2.50" in text
+
+    def test_title(self):
+        text = format_table(["h"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_alignment_pads_to_widest(self):
+        text = format_table(["col"], [["wide-value"]])
+        header, rule, row = text.splitlines()
+        assert len(rule) >= len("wide-value")
+
+    def test_large_numbers_get_thousands_separator(self):
+        text = format_table(["n"], [[1234567.0]])
+        assert "1,234,567" in text

@@ -1,0 +1,91 @@
+"""The vectorized lat/lng -> cell id pipeline must be bit-identical to the
+scalar one."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.cells import CellId, cell_ids_from_lat_lng_arrays
+from repro.cells.vectorized import (
+    face_uv_from_xyz,
+    ij_from_st,
+    leaf_ids_from_face_ij,
+    st_from_uv,
+    xyz_from_lat_lng,
+)
+
+
+class TestAgainstScalar:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.floats(min_value=-89.9, max_value=89.9),
+        st.floats(min_value=-179.9, max_value=179.9),
+    )
+    def test_single_point(self, lat, lng):
+        vec = cell_ids_from_lat_lng_arrays(np.asarray([lat]), np.asarray([lng]))
+        assert int(vec[0]) == CellId.from_degrees(lat, lng).id
+
+    def test_batch_world_coverage(self, rng):
+        lats = rng.uniform(-89, 89, 3000)
+        lngs = rng.uniform(-180, 180, 3000)
+        vec = cell_ids_from_lat_lng_arrays(lats, lngs)
+        for k in range(0, 3000, 61):
+            assert int(vec[k]) == CellId.from_degrees(lats[k], lngs[k]).id
+
+    def test_all_faces_hit(self, rng):
+        lats = rng.uniform(-89, 89, 20000)
+        lngs = rng.uniform(-180, 180, 20000)
+        vec = cell_ids_from_lat_lng_arrays(lats, lngs)
+        faces = set((vec >> np.uint64(61)).tolist())
+        assert faces == {0, 1, 2, 3, 4, 5}
+
+    def test_results_are_valid_leaves(self, rng):
+        lats = rng.uniform(-89, 89, 500)
+        lngs = rng.uniform(-180, 180, 500)
+        vec = cell_ids_from_lat_lng_arrays(lats, lngs)
+        assert bool((vec & np.uint64(1)).all())  # trailing marker bit set
+
+    def test_empty_input(self):
+        out = cell_ids_from_lat_lng_arrays(np.zeros(0), np.zeros(0))
+        assert out.shape == (0,)
+        assert out.dtype == np.uint64
+
+
+class TestStages:
+    def test_xyz_unit_norm(self, rng):
+        lats = rng.uniform(-89, 89, 100)
+        lngs = rng.uniform(-180, 180, 100)
+        x, y, z = xyz_from_lat_lng(lats, lngs)
+        assert np.allclose(x * x + y * y + z * z, 1.0)
+
+    def test_face_uv_in_range(self, rng):
+        lats = rng.uniform(-89, 89, 1000)
+        lngs = rng.uniform(-180, 180, 1000)
+        face, u, v = face_uv_from_xyz(*xyz_from_lat_lng(lats, lngs))
+        assert face.min() >= 0 and face.max() <= 5
+        assert np.all(np.abs(u) <= 1.0 + 1e-9)
+        assert np.all(np.abs(v) <= 1.0 + 1e-9)
+
+    def test_st_from_uv_matches_scalar(self):
+        from repro.cells.projections import uv_to_st
+
+        us = np.linspace(-1, 1, 101)
+        vec = st_from_uv(us)
+        for k, u in enumerate(us):
+            assert vec[k] == uv_to_st(float(u))
+
+    def test_ij_clamping(self):
+        s = np.asarray([-0.1, 0.0, 0.5, 1.0, 1.1])
+        ij = ij_from_st(s)
+        assert ij[0] == 0
+        assert ij[-1] == (1 << 30) - 1
+
+    def test_leaf_ids_match_scalar_hilbert(self, rng):
+        faces = rng.integers(0, 6, 200)
+        i = rng.integers(0, 1 << 30, 200)
+        j = rng.integers(0, 1 << 30, 200)
+        ids = leaf_ids_from_face_ij(faces, i, j)
+        for k in range(0, 200, 13):
+            expected = CellId.from_face_ij(int(faces[k]), int(i[k]), int(j[k]))
+            assert int(ids[k]) == expected.id
