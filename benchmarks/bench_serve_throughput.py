@@ -1,0 +1,60 @@
+"""Serving kernel: micro-batched dispatch through the JoinService vs.
+one-point-at-a-time submission, on a skewed (fig9-style) check-in stream."""
+
+import pytest
+
+from repro.bench.serve_bench import SERVE_PRECISION, _service_index
+from repro.datasets import venue_points
+from repro.serve import JoinService
+
+NUM_REQUESTS = 30_000
+
+
+@pytest.fixture(scope="module")
+def serve_index(workbench):
+    return _service_index(workbench)
+
+
+@pytest.fixture(scope="module")
+def venue_stream():
+    return venue_points(NUM_REQUESTS, num_venues=1000)
+
+
+# Function-scoped: a fresh service per measured configuration, so the
+# reported hit rates are comparable across rows.
+@pytest.fixture()
+def service(serve_index):
+    with JoinService(serve_index, cache_cells=4096) as svc:
+        yield svc
+
+
+@pytest.mark.parametrize("batch_size", [256, 4096])
+def test_micro_batched_join(benchmark, service, venue_stream, batch_size):
+    lats, lngs = venue_stream
+
+    def dispatch():
+        # Clear per round so the reported hit rate is the deterministic
+        # single-pass (cold-start) rate, independent of how many warmup
+        # rounds pytest-benchmark decides to run.
+        service.cache().clear()
+        for lo in range(0, NUM_REQUESTS, batch_size):
+            service.join(lats[lo : lo + batch_size], lngs[lo : lo + batch_size])
+
+    benchmark(dispatch)
+    stats = service.stats()
+    benchmark.extra_info["batch_size"] = batch_size
+    benchmark.extra_info["cache_hit_rate"] = round(stats.cache_hit_rate, 4)
+    benchmark.extra_info["requests"] = NUM_REQUESTS
+
+
+def test_one_at_a_time_join(benchmark, serve_index, venue_stream):
+    lats, lngs = venue_stream
+    num_lookups = 200
+
+    def dispatch():
+        for i in range(num_lookups):
+            serve_index.join(lats[i : i + 1], lngs[i : i + 1])
+
+    benchmark(dispatch)
+    benchmark.extra_info["requests"] = num_lookups
+    benchmark.extra_info["precision_m"] = SERVE_PRECISION

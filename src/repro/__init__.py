@@ -17,8 +17,14 @@ Quickstart::
     result = index.join(np.array([40.72]), np.array([-74.0]))
     print(result.counts)          # points per polygon
 
-See DESIGN.md for the architecture and EXPERIMENTS.md for the
-paper-versus-measured comparison.
+Online serving (micro-batching, hot-cell caching, multi-layer routing)::
+
+    from repro import JoinService
+
+    service = JoinService(index)
+    zone_ids = service.lookup(40.72, -74.0)
+
+See DESIGN.md for the architecture and layer diagram.
 """
 
 from repro.cells import CellId, LatLng, cell_ids_from_lat_lng_arrays
@@ -40,8 +46,14 @@ from repro.core import (
     train_super_covering,
 )
 from repro.geo import Polygon, Rect, Ring, polygon_from_wkt, polygon_to_wkt
+from repro.serve import (
+    HotCellCache,
+    JoinService,
+    LayerRouter,
+    ServiceStats,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CellId",
@@ -68,5 +80,9 @@ __all__ = [
     "Ring",
     "polygon_from_wkt",
     "polygon_to_wkt",
+    "HotCellCache",
+    "JoinService",
+    "LayerRouter",
+    "ServiceStats",
     "__version__",
 ]

@@ -37,6 +37,14 @@ class BenchConfig:
     slow_baseline_points: int = 100_000
     #: GPU-substitute max texture size per rendering pass (Fig. 11).
     max_texture: int = 1024
+    #: Serving benchmark: total requests per workload stream.
+    serve_requests: int = 200_000
+    #: Serving benchmark: distinct venues in the skewed check-in stream.
+    serve_venues: int = 2_000
+    #: Serving benchmark: micro-batch size sweep.
+    serve_batch_sizes: tuple[int, ...] = (16, 256, 4096)
+    #: Serving benchmark: sampled one-point-at-a-time submissions.
+    serve_lookups: int = 1_000
     #: Base RNG seed for every generator.
     seed: int = 42
 
@@ -52,6 +60,9 @@ class BenchConfig:
             threads=(1, 2),
             training_points=(10_000, 50_000),
             slow_baseline_points=20_000,
+            serve_requests=30_000,
+            serve_batch_sizes=(16, 256),
+            serve_lookups=200,
         )
 
     @staticmethod

@@ -1,0 +1,104 @@
+"""Serving throughput: micro-batched requests vs. one-point-at-a-time.
+
+Not a paper experiment — this measures the new ``repro.serve`` subsystem
+on two request streams over the neighborhoods layer:
+
+* **uniform** — fresh uniform coordinates per request (the cache-hostile
+  baseline),
+* **skewed** — a fig9-style check-in stream repeating a finite Zipf-
+  popular venue set (the workload hot-cell caching targets).
+
+For each stream it reports requests/second for one-point-at-a-time
+submission and for micro-batches of increasing size, plus the hot-cell
+cache hit rate; the closing note states the micro-batching speedup
+(acceptance: >= 2x on the skewed stream).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.result import ExperimentResult
+from repro.bench.workbench import Workbench
+from repro.core.builder import BuildTimings, PolygonIndex
+from repro.datasets import uniform_points_for, venue_points
+from repro.serve import JoinService
+from repro.util.timing import Timer
+
+#: Precision bound (meters) for the served layer.
+SERVE_PRECISION = 15.0
+
+
+def _service_index(workbench: Workbench, dataset: str = "neighborhoods") -> PolygonIndex:
+    """Wrap the workbench's cached covering/store into a PolygonIndex."""
+    covering, _ = workbench.super_covering(dataset, SERVE_PRECISION)
+    store = workbench.store(dataset, SERVE_PRECISION, "ACT4")
+    return PolygonIndex(
+        workbench.polygons(dataset),
+        covering,
+        store,
+        store.lookup_table,
+        BuildTimings(),
+        SERVE_PRECISION,
+        None,
+    )
+
+
+def _one_at_a_time_rps(index: PolygonIndex, lats, lngs, num_lookups: int) -> float:
+    """Sequential single-point joins (no batching, no cache)."""
+    num_lookups = min(num_lookups, len(lats))
+    with Timer() as timer:
+        for i in range(num_lookups):
+            index.join(lats[i : i + 1], lngs[i : i + 1])
+    return num_lookups / timer.seconds if timer.seconds > 0 else 0.0
+
+
+def _batched_rps(service: JoinService, lats, lngs, batch_size: int) -> float:
+    with Timer() as timer:
+        for lo in range(0, len(lats), batch_size):
+            service.join(lats[lo : lo + batch_size], lngs[lo : lo + batch_size])
+    return len(lats) / timer.seconds if timer.seconds > 0 else 0.0
+
+
+def run(workbench: Workbench) -> list[ExperimentResult]:
+    config = workbench.config
+    index = _service_index(workbench)
+    zones = workbench.polygons("neighborhoods")
+    streams = {
+        "uniform": uniform_points_for(
+            zones, config.serve_requests, seed=config.seed
+        ),
+        "skewed": venue_points(
+            config.serve_requests,
+            num_venues=config.serve_venues,
+            seed=config.seed,
+        ),
+    }
+    result = ExperimentResult(
+        experiment_id="serve",
+        title="Serving throughput: micro-batching and hot-cell caching",
+        headers=["workload", "submission", "requests/s", "cache hit rate"],
+    )
+    speedups: dict[str, float] = {}
+    for workload, (lats, lngs) in streams.items():
+        base_rps = _one_at_a_time_rps(index, lats, lngs, config.serve_lookups)
+        result.add_row(workload, "one-at-a-time", f"{base_rps:,.0f}", "-")
+        best_rps = 0.0
+        for batch_size in config.serve_batch_sizes:
+            with JoinService(index, cache_cells=2 * config.serve_venues) as service:
+                rps = _batched_rps(service, lats, lngs, batch_size)
+                hit_rate = service.stats().cache_hit_rate
+            best_rps = max(best_rps, rps)
+            result.add_row(
+                workload,
+                f"micro-batch={batch_size}",
+                f"{rps:,.0f}",
+                f"{hit_rate:.1%}",
+            )
+        speedups[workload] = best_rps / base_rps if base_rps > 0 else 0.0
+    for workload, speedup in speedups.items():
+        result.add_note(
+            f"{workload}: micro-batched vs one-at-a-time speedup {speedup:.0f}x"
+            + (" (acceptance: >= 2x)" if workload == "skewed" else "")
+        )
+    return [result]

@@ -20,7 +20,13 @@ from repro.core.act import AdaptiveCellTrie
 from repro.core.act_compressed import CompressedCellTrie
 from repro.core.precision import refine_to_precision
 from repro.core.training import train_super_covering
-from repro.core.joins import JoinResult, approximate_join, accurate_join
+from repro.core.joins import (
+    JoinResult,
+    approximate_join,
+    accurate_join,
+    batch_probe,
+    refine_candidates,
+)
 from repro.core.builder import PolygonIndex
 from repro.core.serialize import load_index, save_index
 
@@ -37,6 +43,8 @@ __all__ = [
     "JoinResult",
     "approximate_join",
     "accurate_join",
+    "batch_probe",
+    "refine_candidates",
     "PolygonIndex",
     "save_index",
     "load_index",

@@ -132,6 +132,48 @@ def decode_entries(
     )
 
 
+def batch_probe(
+    store: CellStore, lookup_table: LookupTable, cell_ids: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Probe the store with leaf cell ids and decode the tagged entries.
+
+    The shared first phase of both joins, exposed so other drivers (the
+    serving subsystem, caching stores) dispatch through the exact same
+    probe path instead of re-implementing it.  Returns ``(point index,
+    polygon id, is_true)`` pair arrays.
+    """
+    entries = store.probe(np.asarray(cell_ids, dtype=np.uint64))
+    return decode_entries(entries, lookup_table)
+
+
+def refine_candidates(
+    point_idx: np.ndarray,
+    pids: np.ndarray,
+    is_true: np.ndarray,
+    polygons: Sequence[Polygon],
+    lngs: np.ndarray,
+    lats: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, int, int]:
+    """Refinement phase of the accurate join: PIP-test candidate pairs.
+
+    Takes the pair arrays produced by :func:`batch_probe`, keeps true hits
+    as-is, and runs vectorized point-in-polygon tests on the candidates
+    grouped by polygon.  Returns ``(kept point indices, kept polygon ids,
+    number of PIP tests, number of distinct refined points)``.
+    """
+    cand = ~is_true
+    cand_points = point_idx[cand]
+    cand_pids = pids[cand]
+    accepted = np.zeros(len(cand_points), dtype=bool)
+    for pid in np.unique(cand_pids):
+        sel = cand_pids == pid
+        pts = cand_points[sel]
+        accepted[sel] = contains_points(polygons[int(pid)], lngs[pts], lats[pts])
+    keep_points = np.concatenate([point_idx[is_true], cand_points[accepted]])
+    keep_pids = np.concatenate([pids[is_true], cand_pids[accepted]])
+    return keep_points, keep_pids, int(len(cand_points)), int(np.unique(cand_points).size)
+
+
 def approximate_join(
     store: CellStore,
     lookup_table: LookupTable,
@@ -141,8 +183,7 @@ def approximate_join(
 ) -> JoinResult:
     """Approximate join: candidate hits count as hits (no PIP tests)."""
     with Timer() as probe_timer:
-        entries = store.probe(np.asarray(cell_ids, dtype=np.uint64))
-        point_idx, pids, is_true = decode_entries(entries, lookup_table)
+        point_idx, pids, is_true = batch_probe(store, lookup_table, cell_ids)
         counts = np.bincount(pids, minlength=num_polygons)
     result = JoinResult(
         num_points=len(cell_ids),
@@ -170,31 +211,20 @@ def accurate_join(
 ) -> JoinResult:
     """Accurate join: candidate hits are refined with PIP tests."""
     with Timer() as probe_timer:
-        entries = store.probe(np.asarray(cell_ids, dtype=np.uint64))
-        point_idx, pids, is_true = decode_entries(entries, lookup_table)
+        point_idx, pids, is_true = batch_probe(store, lookup_table, cell_ids)
     with Timer() as refine_timer:
-        cand = ~is_true
-        cand_points = point_idx[cand]
-        cand_pids = pids[cand]
-        accepted = np.zeros(len(cand_points), dtype=bool)
-        for pid in np.unique(cand_pids):
-            sel = cand_pids == pid
-            pts = cand_points[sel]
-            accepted[sel] = contains_points(
-                polygons[int(pid)], lngs[pts], lats[pts]
-            )
-        keep_points = np.concatenate([point_idx[is_true], cand_points[accepted]])
-        keep_pids = np.concatenate([pids[is_true], cand_pids[accepted]])
+        keep_points, keep_pids, num_pip, num_refined = refine_candidates(
+            point_idx, pids, is_true, polygons, lngs, lats
+        )
         counts = np.bincount(keep_pids, minlength=len(polygons))
-    refined_points = np.unique(cand_points)
     result = JoinResult(
         num_points=len(cell_ids),
         counts=counts,
         num_pairs=len(keep_points),
         num_true_hit_pairs=int(np.count_nonzero(is_true)),
-        num_candidate_pairs=int(len(cand_points)),
-        num_pip_tests=int(len(cand_points)),
-        solely_true_hits=len(cell_ids) - len(refined_points),
+        num_candidate_pairs=num_pip,
+        num_pip_tests=num_pip,
+        solely_true_hits=len(cell_ids) - num_refined,
         probe_seconds=probe_timer.seconds,
         refine_seconds=refine_timer.seconds,
     )

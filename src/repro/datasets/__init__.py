@@ -33,6 +33,7 @@ from repro.datasets.workloads import (
     twitter_points,
     twitter_polygons,
     uniform_points_for,
+    venue_points,
 )
 
 __all__ = [
@@ -50,4 +51,5 @@ __all__ = [
     "twitter_points",
     "twitter_polygons",
     "uniform_points_for",
+    "venue_points",
 ]

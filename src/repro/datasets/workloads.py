@@ -148,3 +148,37 @@ def uniform_points_for(
     for polygon in polygons:
         bounds = bounds.union(polygon.mbr)
     return uniform_points(bounds, num_points, seed=seed)
+
+
+def venue_points(
+    num_requests: int,
+    bounds: Rect = NYC_BOX,
+    num_venues: int = 2000,
+    zipf_exponent: float = 1.1,
+    seed: int = 99,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Online check-in stream: repeated lookups of a finite venue set.
+
+    The Twitter/Foursquare-style traffic a serving deployment sees is not
+    a fresh continuous coordinate per request — users check in at a fixed
+    set of venues whose popularity is Zipf-distributed.  Venue locations
+    follow the hotspot-clustered city shape; request ``k`` samples a venue
+    with probability proportional to ``1 / rank**zipf_exponent``.  This is
+    the workload where hot-cell caching shines, because the head venues
+    dominate the request stream.
+    """
+    if num_venues < 1:
+        raise ValueError("num_venues must be >= 1")
+    venue_lats, venue_lngs = clustered_points(
+        bounds,
+        num_venues,
+        seed=seed,
+        num_hotspots=5,
+        hotspot_fraction=0.85,
+        spread_fraction=0.05,
+    )
+    rng = np.random.default_rng(seed + 1)
+    popularity = 1.0 / np.arange(1, num_venues + 1, dtype=np.float64) ** zipf_exponent
+    popularity /= popularity.sum()
+    chosen = rng.choice(num_venues, size=num_requests, p=popularity)
+    return venue_lats[chosen], venue_lngs[chosen]

@@ -1,0 +1,44 @@
+"""Online serving layer: request streams over the offline join kernel.
+
+The ``repro.serve`` subsystem wraps the core index into a service whose
+unit of work is a *request stream* rather than a point array:
+
+* :class:`JoinService` — the facade: single lookups, point batches, and
+  multi-layer fan-out, all dispatched through the vectorized join drivers;
+* :class:`MicroBatcher` — coalesces concurrent single-point lookups into
+  micro-batches (the serving analog of the paper's batched probe phase);
+* :class:`HotCellCache` / :class:`CachedCellStore` — an LRU over leaf-cell
+  probe results that short-circuits skewed (fig9-style) workloads;
+* :class:`LayerRouter` — several named polygon layers behind one service;
+* :class:`MorselExecutor` — persistent-pool morsel parallelism for large
+  batches;
+* :class:`ServiceStats` — p50/p99 latency, throughput, and cache hit-rate
+  snapshots.
+
+Quickstart::
+
+    from repro import JoinService, PolygonIndex
+
+    service = JoinService(PolygonIndex.build(zones, precision_meters=4.0))
+    zone_ids = service.lookup(40.72, -74.0)
+"""
+
+from repro.serve.batching import LookupRequest, MicroBatcher
+from repro.serve.cache import CachedCellStore, CacheStats, HotCellCache
+from repro.serve.executor import MorselExecutor
+from repro.serve.router import LayerRouter
+from repro.serve.service import JoinService
+from repro.serve.stats import LatencyRecorder, ServiceStats
+
+__all__ = [
+    "CachedCellStore",
+    "CacheStats",
+    "HotCellCache",
+    "JoinService",
+    "LatencyRecorder",
+    "LayerRouter",
+    "LookupRequest",
+    "MicroBatcher",
+    "MorselExecutor",
+    "ServiceStats",
+]

@@ -1,0 +1,146 @@
+"""Micro-batching: coalesce concurrent single-point lookups.
+
+One-point-at-a-time joins waste the vectorized kernel — every numpy call
+pays its fixed dispatch cost for a single element.  The batcher collects
+lookups arriving from many client threads into micro-batches (up to
+``max_batch`` requests, waiting at most ``max_wait_ms`` after the first
+one) and hands each batch to a flush callback that runs ONE vectorized
+join and scatters per-point results back through futures.  This is the
+serving-side analog of the paper's batched probe phase: throughput comes
+from amortizing per-call overhead across the batch.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+
+@dataclass
+class LookupRequest:
+    """One pending single-point lookup."""
+
+    lat: float
+    lng: float
+    layer: str | None = None
+    exact: bool = False
+    future: Future = field(default_factory=Future)
+    enqueued_at: float = 0.0  # stamped by MicroBatcher.submit
+
+
+#: Flush callback: run one vectorized join for requests sharing a
+#: ``(layer, exact)`` route and resolve each request's future.
+FlushFn = Callable[[str | None, bool, Sequence[LookupRequest]], None]
+
+
+class MicroBatcher:
+    """Background coalescer turning a request stream into micro-batches."""
+
+    def __init__(
+        self,
+        flush: FlushFn,
+        *,
+        max_batch: int = 256,
+        max_wait_ms: float = 2.0,
+    ):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self._flush = flush
+        self.max_batch = max_batch
+        self.max_wait_seconds = max_wait_ms / 1000.0
+        self._queue: deque[LookupRequest] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        self._batches_dispatched = 0
+        self._requests_dispatched = 0
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-batcher", daemon=True
+        )
+        self._thread.start()
+
+    def submit(self, request: LookupRequest) -> Future:
+        """Enqueue a lookup; the returned future resolves to its result."""
+        request.enqueued_at = time.monotonic()
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("batcher is closed")
+            self._queue.append(request)
+            self._cond.notify()
+        return request.future
+
+    @property
+    def batches_dispatched(self) -> int:
+        return self._batches_dispatched
+
+    @property
+    def mean_batch_size(self) -> float:
+        if self._batches_dispatched == 0:
+            return 0.0
+        return self._requests_dispatched / self._batches_dispatched
+
+    def close(self) -> None:
+        """Stop accepting requests, drain the queue, join the thread."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+        self._thread.join()
+
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._closed:
+                    self._cond.wait()
+                if not self._queue and self._closed:
+                    return
+                # Linger briefly so concurrent callers coalesce, but never
+                # past the latency budget of the OLDEST pending request —
+                # requests that queued up during a slow flush have already
+                # used (part of) theirs.
+                deadline = self._queue[0].enqueued_at + self.max_wait_seconds
+                while len(self._queue) < self.max_batch and not self._closed:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(remaining)
+                batch = [
+                    self._queue.popleft()
+                    for _ in range(min(self.max_batch, len(self._queue)))
+                ]
+            if batch:
+                self._dispatch(batch)
+
+    def _dispatch(self, batch: list[LookupRequest]) -> None:
+        # Group by route so each group runs as one vectorized join.
+        groups: dict[tuple[str | None, bool], list[LookupRequest]] = {}
+        for request in batch:
+            groups.setdefault((request.layer, request.exact), []).append(request)
+        for (layer, exact), requests in groups.items():
+            # Transition futures to RUNNING; drops client-cancelled ones
+            # and guarantees cancel() can no longer race set_result below.
+            live = [
+                request
+                for request in requests
+                if request.future.set_running_or_notify_cancel()
+            ]
+            if not live:
+                continue
+            self._batches_dispatched += 1
+            self._requests_dispatched += len(live)
+            try:
+                self._flush(layer, exact, live)
+            except BaseException as exc:  # propagate to every waiting caller
+                for request in live:
+                    if not request.future.done():
+                        request.future.set_exception(exc)
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,209 @@
+"""Hot-cell caching for the serving hot path.
+
+Probing the cell store is the dominant cost of a join, and real request
+streams are heavily skewed: the Twitter-style workloads of the paper's
+Figure 9 concentrate most points in a handful of city hotspots, so the
+same leaf cells are probed over and over.  :class:`HotCellCache` is a
+thread-safe LRU keyed on leaf cell id that remembers the tagged entry the
+store returned for that cell; :class:`CachedCellStore` wraps any cell
+store behind the cache while still satisfying the ``probe`` protocol, so
+the existing join drivers (``approximate_join``/``accurate_join``) run
+unchanged — a cached probe is bit-identical to a direct one because the
+entry for a cell is immutable once the index is built.
+
+Hit/miss accounting is weighted by *points*, not by distinct cells: a
+micro-batch whose 10,000 points all fall in one cached cell records
+10,000 hits, which is exactly the number of trie descents the cache
+short-circuited.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cells.cellid import MAX_LEVEL
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Point-weighted hit/miss counters of one :class:`HotCellCache`."""
+
+    capacity: int
+    size: int
+    hits: int
+    misses: int
+    evictions: int
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if self.requests == 0:
+            return 0.0
+        return self.hits / self.requests
+
+
+class HotCellCache:
+    """Thread-safe LRU of ``leaf cell id -> tagged store entry``.
+
+    ``capacity`` counts distinct cells; ``capacity=0`` disables caching
+    (every probe goes to the store and no statistics are recorded).
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[int, int] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, cell_id: int, weight: int = 1) -> int | None:
+        """Cached entry for a cell, or ``None``; counts ``weight`` probes."""
+        with self._lock:
+            entry = self._entries.get(cell_id)
+            if entry is None:
+                self._misses += weight
+                return None
+            self._entries.move_to_end(cell_id)
+            self._hits += weight
+            return entry
+
+    def put(self, cell_id: int, entry: int) -> None:
+        with self._lock:
+            self._entries[cell_id] = entry
+            self._entries.move_to_end(cell_id)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def get_many(
+        self, cell_ids: list[int], weights: np.ndarray
+    ) -> tuple[list[int | None], list[int]]:
+        """Batch :meth:`get` under ONE lock acquisition (the hot path).
+
+        Returns the per-id entries (``None`` on miss) and the miss slots.
+        """
+        misses: list[int] = []
+        out: list[int | None] = [None] * len(cell_ids)
+        with self._lock:
+            entries = self._entries
+            for slot, cell_id in enumerate(cell_ids):
+                entry = entries.get(cell_id)
+                if entry is None:
+                    misses.append(slot)
+                    self._misses += int(weights[slot])
+                else:
+                    entries.move_to_end(cell_id)
+                    self._hits += int(weights[slot])
+                    out[slot] = entry
+        return out, misses
+
+    def put_many(self, items: list[tuple[int, int]]) -> None:
+        """Batch :meth:`put` under one lock acquisition."""
+        with self._lock:
+            entries = self._entries
+            for cell_id, entry in items:
+                entries[cell_id] = entry
+                entries.move_to_end(cell_id)
+            while len(entries) > self.capacity:
+                entries.popitem(last=False)
+                self._evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, cell_id: int) -> bool:
+        with self._lock:
+            return cell_id in self._entries
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._hits = self._misses = self._evictions = 0
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                capacity=self.capacity,
+                size=len(self._entries),
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+            )
+
+
+def key_shift_for_level(max_cell_level: int) -> int:
+    """Right-shift turning a leaf cell id into a sound cache key.
+
+    Full leaf ids (level 30) are nearly unique for continuous coordinates,
+    so a cache keyed on them never hits.  But every store resolves a probe
+    using only the indexed cells, and no indexed cell is deeper than the
+    super covering's maximum level ``D`` — so two leaf ids sharing their
+    level-``D`` ancestor are guaranteed the same probe result, and the
+    ancestor's position bits make a sound, reusable cache key.
+
+    A leaf id is ``face(3) | 60 position bits | marker(1)``: below the
+    level-``D`` quadrant bits sit ``2 * (30 - D)`` finer position bits
+    plus the marker bit, hence the ``+ 1``.
+    """
+    if not 0 <= max_cell_level <= MAX_LEVEL:
+        raise ValueError(f"invalid cell level: {max_cell_level}")
+    return 2 * (MAX_LEVEL - max_cell_level) + 1
+
+
+class CachedCellStore:
+    """A ``CellStore`` adapter that serves probes through a hot-cell cache.
+
+    Deduplicates the batch to its distinct cache keys (leaf ids truncated
+    by ``key_shift``, see :func:`key_shift_for_level`), answers cached
+    keys from the LRU, probes the underlying store once per missing key,
+    and scatters the entries back to every point — so downstream decoding
+    and refinement see exactly what a direct ``store.probe`` would return.
+    """
+
+    def __init__(self, store, cache: HotCellCache, key_shift: int = 0):
+        if not 0 <= key_shift < 64:
+            raise ValueError(f"key_shift must be in [0, 64), got {key_shift}")
+        self.store = store
+        self.cache = cache
+        self.key_shift = key_shift
+
+    def probe(self, query_ids: np.ndarray) -> np.ndarray:
+        query_ids = np.asarray(query_ids, dtype=np.uint64)
+        if self.cache.capacity == 0 or query_ids.size == 0:
+            return self.store.probe(query_ids)
+        keys = query_ids >> np.uint64(self.key_shift)
+        unique_keys, first_index, inverse = np.unique(
+            keys, return_index=True, return_inverse=True
+        )
+        weights = np.bincount(inverse, minlength=len(unique_keys))
+        cached, miss_slots = self.cache.get_many(unique_keys.tolist(), weights)
+        entries = np.asarray(
+            [entry if entry is not None else 0 for entry in cached],
+            dtype=np.uint64,
+        )
+        if miss_slots:
+            # One representative full leaf id per missing key; every id
+            # sharing the key resolves to the same entry by construction.
+            missed = self.store.probe(query_ids[first_index[miss_slots]])
+            entries[miss_slots] = missed
+            self.cache.put_many(
+                [
+                    (int(unique_keys[slot]), entry)
+                    for slot, entry in zip(miss_slots, missed.tolist())
+                ]
+            )
+        return entries[inverse]
+
+    # Pass introspection through so `describe()`/`size_bytes` keep working.
+    def __getattr__(self, name: str):
+        return getattr(self.store, name)

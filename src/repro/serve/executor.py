@@ -1,0 +1,74 @@
+"""Morsel-driven parallel execution for large serving batches.
+
+Reuses the scheme of :func:`repro.core.joins.parallel_count_join` — worker
+threads pull fixed-size morsels from a shared atomic counter and keep
+thread-local results, merged by the caller — but with a *persistent*
+thread pool, because a service dispatching thousands of batches per second
+cannot afford to spawn threads per request the way the one-shot benchmark
+driver does.
+"""
+
+from __future__ import annotations
+
+import itertools
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, TypeVar
+
+T = TypeVar("T")
+
+
+class MorselExecutor:
+    """A persistent pool executing ``work(lo, hi)`` over morsel ranges.
+
+    The shared ``itertools.count`` hand-out is the paper's atomic batch
+    counter (Section 3.4): whichever worker finishes first grabs the next
+    morsel, so skewed morsels (a hot cell making one range expensive)
+    balance automatically.
+    """
+
+    def __init__(self, num_threads: int, morsel_size: int = 1 << 14):
+        if num_threads < 1:
+            raise ValueError(f"num_threads must be >= 1, got {num_threads}")
+        if morsel_size < 1:
+            raise ValueError(f"morsel_size must be >= 1, got {morsel_size}")
+        self.num_threads = num_threads
+        self.morsel_size = morsel_size
+        self._pool = ThreadPoolExecutor(
+            max_workers=num_threads, thread_name_prefix="repro-serve"
+        )
+
+    def map_morsels(
+        self, num_items: int, work: Callable[[int, int], T]
+    ) -> list[T]:
+        """Run ``work(lo, hi)`` for every morsel range; results in order."""
+        num_morsels = (num_items + self.morsel_size - 1) // self.morsel_size
+        if num_morsels <= 1:
+            return [work(0, num_items)] if num_items else []
+        counter = itertools.count()  # the shared atomic morsel counter
+        results: list[T | None] = [None] * num_morsels
+
+        def worker() -> None:
+            while True:
+                morsel = next(counter)
+                if morsel >= num_morsels:
+                    return
+                lo = morsel * self.morsel_size
+                hi = min(lo + self.morsel_size, num_items)
+                results[morsel] = work(lo, hi)
+
+        futures = [
+            self._pool.submit(worker)
+            for _ in range(min(self.num_threads, num_morsels))
+        ]
+        for future in futures:
+            future.result()
+        return results  # type: ignore[return-value]
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "MorselExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,87 @@
+"""Multi-layer routing: several named polygon layers behind one service.
+
+A production location service rarely joins against a single polygon set —
+a ride request is matched against surge zones, airport geofences, and
+administrative boundaries at once.  :class:`LayerRouter` hosts multiple
+named :class:`~repro.core.builder.PolygonIndex` instances and resolves
+which layer(s) a request fans out to.  Because leaf cell ids depend only
+on the point coordinates, the service computes them once per batch and
+reuses them across every routed layer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+class LayerRouter:
+    """Registry of named polygon layers with a default-layer convention.
+
+    ``default`` names the layer used when a request does not specify one;
+    when omitted, a single-layer router treats its only layer as the
+    default and a multi-layer router requires an explicit layer name.
+    """
+
+    def __init__(
+        self,
+        layers: Mapping[str, object] | None = None,
+        default: str | None = None,
+    ):
+        self._layers: dict[str, object] = {}
+        for name, index in (layers or {}).items():
+            self.add(name, index)
+        if default is not None and default not in self._layers:
+            raise KeyError(f"default layer {default!r} is not registered")
+        self._default = default
+
+    def add(self, name: str, index: object) -> None:
+        if not name:
+            raise ValueError("layer name must be non-empty")
+        if name in self._layers:
+            raise ValueError(f"layer {name!r} is already registered")
+        self._layers[name] = index
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._layers)
+
+    @property
+    def default(self) -> str | None:
+        if self._default is not None:
+            return self._default
+        if len(self._layers) == 1:
+            return next(iter(self._layers))
+        return None
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._layers
+
+    def resolve(self, name: str | None = None) -> tuple[str, object]:
+        """The ``(name, index)`` a single-layer request routes to."""
+        if name is None:
+            name = self.default
+            if name is None:
+                raise KeyError(
+                    "no layer given and no default layer; choose one of "
+                    f"{list(self._layers)}"
+                )
+        try:
+            return name, self._layers[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown layer {name!r}; registered layers: {list(self._layers)}"
+            ) from None
+
+    def select(
+        self, names: Sequence[str] | None = None
+    ) -> list[tuple[str, object]]:
+        """The layers a fan-out request routes to (``None`` = all layers)."""
+        if names is None:
+            return list(self._layers.items())
+        return [self.resolve(name) for name in names]
+
+    def items(self) -> Iterable[tuple[str, object]]:
+        return self._layers.items()

@@ -1,0 +1,429 @@
+"""The online join service facade.
+
+:class:`JoinService` turns the offline join kernel into a request-serving
+hot path.  It accepts three shapes of work:
+
+* ``lookup``/``submit`` — single-point requests from many client threads,
+  coalesced into micro-batches by a :class:`~repro.serve.batching.MicroBatcher`
+  and answered with the polygon ids containing the point;
+* ``join`` — an explicit point batch, dispatched through the same
+  vectorized ``approximate_join``/``accurate_join`` drivers the offline
+  evaluation uses (large batches split across a
+  :class:`~repro.serve.executor.MorselExecutor`);
+* ``join_layers`` — a batch fanned out to several named polygon layers,
+  computing the leaf cell ids once and reusing them per layer.
+
+Every probe goes through a per-layer
+:class:`~repro.serve.cache.HotCellCache`, so results are bit-identical to
+calling ``PolygonIndex.join`` directly while skewed workloads
+short-circuit most trie descents.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.builder import PolygonIndex
+from repro.core.joins import JoinResult, accurate_join, approximate_join
+from repro.serve.batching import LookupRequest, MicroBatcher
+from repro.serve.cache import (
+    CachedCellStore,
+    CacheStats,
+    HotCellCache,
+    key_shift_for_level,
+)
+from repro.serve.executor import MorselExecutor
+from repro.serve.router import LayerRouter
+from repro.serve.stats import LatencyRecorder, ServiceStats
+from repro.util.timing import Timer
+
+#: The default single-layer name used when a bare index is served.
+DEFAULT_LAYER = "default"
+
+
+class JoinService:
+    """An online point-polygon join service over one or more layers.
+
+    Parameters
+    ----------
+    layers:
+        Either a single :class:`PolygonIndex` (served as layer
+        ``"default"``) or a mapping of layer name to index.
+    cache_cells:
+        Per-layer hot-cell LRU capacity in distinct leaf cells
+        (0 disables caching).
+    max_batch / max_wait_ms:
+        Micro-batching knobs: flush when ``max_batch`` lookups are
+        pending, or ``max_wait_ms`` after the first one.
+    num_threads / morsel_size:
+        Batches larger than one morsel are split across a persistent
+        morsel executor when ``num_threads > 1``.
+    """
+
+    def __init__(
+        self,
+        layers: PolygonIndex | Mapping[str, PolygonIndex],
+        *,
+        default_layer: str | None = None,
+        cache_cells: int = 4096,
+        max_batch: int = 256,
+        max_wait_ms: float = 2.0,
+        num_threads: int = 1,
+        morsel_size: int = 1 << 14,
+        latency_window: int = 8192,
+    ):
+        if isinstance(layers, PolygonIndex):
+            layers = {DEFAULT_LAYER: layers}
+        self._router = LayerRouter(layers, default=default_layer)
+        self._cache_cells = cache_cells
+        self._attach_lock = threading.Lock()
+        self._caches: dict[str, HotCellCache] = {}
+        self._stores: dict[str, CachedCellStore] = {}
+        for name, index in self._router.items():
+            self._attach_cache(name, index)
+        self._recorder = LatencyRecorder(window=latency_window)
+        self._executor = (
+            MorselExecutor(num_threads, morsel_size) if num_threads > 1 else None
+        )
+        self._batcher = MicroBatcher(
+            self._flush_lookups, max_batch=max_batch, max_wait_ms=max_wait_ms
+        )
+        self._closed = False
+
+    def _attach_cache(self, name: str, index: PolygonIndex) -> None:
+        cache = HotCellCache(self._cache_cells)
+        self._caches[name] = cache
+        # Key the cache on the ancestor at the layer's deepest indexed
+        # level — leaf ids sharing it are guaranteed identical probes.
+        histogram = index.super_covering.level_histogram()
+        max_level = max(histogram) if histogram else 0
+        self._stores[name] = CachedCellStore(
+            index.store, cache, key_shift=key_shift_for_level(max_level)
+        )
+
+    # ------------------------------------------------------------------
+    # Layer management
+    # ------------------------------------------------------------------
+
+    def add_layer(self, name: str, index: PolygonIndex) -> None:
+        """Register an additional polygon layer on the live service."""
+        with self._attach_lock:
+            self._router.add(name, index)
+            self._attach_cache(name, index)
+
+    @property
+    def layers(self) -> tuple[str, ...]:
+        return self._router.names
+
+    def cache(self, layer: str | None = None) -> HotCellCache:
+        name, _ = self._router.resolve(layer)
+        return self._caches[name]
+
+    # ------------------------------------------------------------------
+    # Single-point path (micro-batched)
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        lat: float,
+        lng: float,
+        *,
+        layer: str | None = None,
+        exact: bool = True,
+    ) -> Future:
+        """Enqueue a lookup; resolves to the sorted containing polygon ids.
+
+        Defaults to the accurate join, matching
+        ``PolygonIndex.containing_polygons``; pass ``exact=False`` for the
+        approximate candidate set (ids whose covering cells contain the
+        point, within the build-time precision bound).
+        """
+        self._check_open()
+        # Resolve now: fails fast on unknown layers, and canonicalizes
+        # layer=None to the default name so both coalesce into one group.
+        name, _ = self._router.resolve(layer)
+        return self._batcher.submit(
+            LookupRequest(lat=float(lat), lng=float(lng), layer=name, exact=exact)
+        )
+
+    def _store_for(self, name: str, index: PolygonIndex) -> CachedCellStore:
+        """The layer's cached store, re-attached if the index was rebuilt.
+
+        ``PolygonIndex.add_polygon`` replaces both the store and the
+        lookup table; probing the old store against the new table would
+        decode garbage, so a store swap invalidates the cache wholesale.
+        """
+        cached = self._stores[name]
+        if cached.store is not index.store:
+            with self._attach_lock:
+                cached = self._stores[name]
+                if cached.store is not index.store:
+                    self._attach_cache(name, index)
+                    cached = self._stores[name]
+        return cached
+
+    def lookup(
+        self,
+        lat: float,
+        lng: float,
+        *,
+        layer: str | None = None,
+        exact: bool = True,
+    ) -> list[int]:
+        """Blocking single-point lookup (rides the micro-batcher).
+
+        Returns the sorted ids of polygons containing the point (accurate
+        join by default, like ``PolygonIndex.containing_polygons``).
+        """
+        return self.submit(lat, lng, layer=layer, exact=exact).result()
+
+    def _flush_lookups(
+        self, layer: str | None, exact: bool, requests: Sequence[LookupRequest]
+    ) -> None:
+        """Answer one coalesced micro-batch with a single vectorized join."""
+        name, index = self._router.resolve(layer)
+        lats = np.fromiter((r.lat for r in requests), np.float64, len(requests))
+        lngs = np.fromiter((r.lng for r in requests), np.float64, len(requests))
+        with Timer() as timer:
+            cell_ids = index.cell_ids_for(lats, lngs)
+            result = self._dispatch(
+                name, index, cell_ids, lats, lngs, exact, materialize=True
+            )
+            per_point: list[list[int]] = [[] for _ in requests]
+            for point, pid in zip(
+                result.pair_points.tolist(), result.pair_polygons.tolist()
+            ):
+                per_point[point].append(int(pid))
+        self._recorder.record(
+            requests=len(requests),
+            points=len(requests),
+            pairs=result.num_pairs,
+            seconds=timer.seconds,
+        )
+        for request, pids in zip(requests, per_point):
+            request.future.set_result(sorted(pids))
+
+    # ------------------------------------------------------------------
+    # Batch path
+    # ------------------------------------------------------------------
+
+    def join(
+        self,
+        lats: np.ndarray,
+        lngs: np.ndarray,
+        *,
+        layer: str | None = None,
+        exact: bool = False,
+        materialize: bool = False,
+    ) -> JoinResult:
+        """Join a point batch against one layer.
+
+        Identical semantics (and bit-identical counts) to
+        ``PolygonIndex.join`` on the same points, with the hot-cell cache
+        and morsel parallelism underneath.
+        """
+        self._check_open()
+        name, index = self._router.resolve(layer)
+        lats = np.asarray(lats, dtype=np.float64)
+        lngs = np.asarray(lngs, dtype=np.float64)
+        with Timer() as timer:
+            cell_ids = index.cell_ids_for(lats, lngs)
+            result = self._dispatch(
+                name, index, cell_ids, lats, lngs, exact, materialize
+            )
+        self._recorder.record(
+            requests=1,
+            points=len(lats),
+            pairs=result.num_pairs,
+            seconds=timer.seconds,
+        )
+        return result
+
+    def join_layers(
+        self,
+        lats: np.ndarray,
+        lngs: np.ndarray,
+        *,
+        layers: Sequence[str] | None = None,
+        exact: bool = False,
+    ) -> dict[str, JoinResult]:
+        """Fan a batch out to several layers (``None`` = every layer).
+
+        Leaf cell ids depend only on the coordinates, so they are computed
+        once and shared across layers.
+        """
+        self._check_open()
+        routed = self._router.select(layers)
+        lats = np.asarray(lats, dtype=np.float64)
+        lngs = np.asarray(lngs, dtype=np.float64)
+        cell_ids = None
+        results: dict[str, JoinResult] = {}
+        for position, (name, index) in enumerate(routed):
+            with Timer() as timer:
+                if cell_ids is None:
+                    cell_ids = index.cell_ids_for(lats, lngs)
+                results[name] = self._dispatch(
+                    name, index, cell_ids, lats, lngs, exact, materialize=False
+                )
+            # One client-visible request for the whole fan-out; points
+            # count per layer (each layer joins the full batch).
+            self._recorder.record(
+                requests=1 if position == 0 else 0,
+                points=len(lats),
+                pairs=results[name].num_pairs,
+                seconds=timer.seconds,
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    # Dispatch internals
+    # ------------------------------------------------------------------
+
+    def _dispatch(
+        self,
+        name: str,
+        index: PolygonIndex,
+        cell_ids: np.ndarray,
+        lats: np.ndarray,
+        lngs: np.ndarray,
+        exact: bool,
+        materialize: bool,
+    ) -> JoinResult:
+        if (
+            self._executor is not None
+            and len(cell_ids) > self._executor.morsel_size
+        ):
+            return self._dispatch_morsels(
+                name, index, cell_ids, lats, lngs, exact, materialize
+            )
+        return self._join_chunk(
+            name, index, cell_ids, lats, lngs, exact, materialize
+        )
+
+    def _join_chunk(
+        self,
+        name: str,
+        index: PolygonIndex,
+        cell_ids: np.ndarray,
+        lats: np.ndarray,
+        lngs: np.ndarray,
+        exact: bool,
+        materialize: bool,
+    ) -> JoinResult:
+        """One vectorized join through the layer's cached store."""
+        store = self._store_for(name, index)
+        # Read the table through the store (attribute passthrough): the
+        # pair travels together, so even if add_polygon swaps both fields
+        # on the index mid-request we never mix an old store with a new
+        # table — worst case one batch is served from the pre-update pair.
+        lookup_table = getattr(store, "lookup_table", None)
+        if lookup_table is None:
+            lookup_table = index.lookup_table
+        if exact:
+            return accurate_join(
+                store,
+                lookup_table,
+                cell_ids,
+                index.polygons,
+                lngs,
+                lats,
+                materialize=materialize,
+            )
+        return approximate_join(
+            store,
+            lookup_table,
+            cell_ids,
+            len(index.polygons),
+            materialize=materialize,
+        )
+
+    def _dispatch_morsels(
+        self,
+        name: str,
+        index: PolygonIndex,
+        cell_ids: np.ndarray,
+        lats: np.ndarray,
+        lngs: np.ndarray,
+        exact: bool,
+        materialize: bool,
+    ) -> JoinResult:
+        """Split a large batch into morsels and merge the partial results."""
+        def work(lo: int, hi: int) -> JoinResult:
+            part = self._join_chunk(
+                name,
+                index,
+                cell_ids[lo:hi],
+                lats[lo:hi],
+                lngs[lo:hi],
+                exact,
+                materialize,
+            )
+            if materialize and part.pair_points is not None:
+                part.pair_points = part.pair_points + lo
+            return part
+
+        with Timer() as timer:
+            parts = self._executor.map_morsels(len(cell_ids), work)
+        # Apportion the parallel wall time by the workers' probe/refine
+        # ratio so probe_seconds + refine_seconds == elapsed time.
+        probe_total = sum(p.probe_seconds for p in parts)
+        refine_total = sum(p.refine_seconds for p in parts)
+        busy_total = probe_total + refine_total
+        refine_wall = (
+            timer.seconds * refine_total / busy_total if busy_total > 0 else 0.0
+        )
+        merged = JoinResult(
+            num_points=len(cell_ids),
+            counts=np.sum([p.counts for p in parts], axis=0),
+            num_pairs=sum(p.num_pairs for p in parts),
+            num_true_hit_pairs=sum(p.num_true_hit_pairs for p in parts),
+            num_candidate_pairs=sum(p.num_candidate_pairs for p in parts),
+            num_pip_tests=sum(p.num_pip_tests for p in parts),
+            solely_true_hits=sum(p.solely_true_hits for p in parts),
+            probe_seconds=timer.seconds - refine_wall,
+            refine_seconds=refine_wall,
+        )
+        if materialize:
+            merged.pair_points = np.concatenate(
+                [p.pair_points for p in parts]
+            )
+            merged.pair_polygons = np.concatenate(
+                [p.pair_polygons for p in parts]
+            )
+        return merged
+
+    # ------------------------------------------------------------------
+    # Observability & lifecycle
+    # ------------------------------------------------------------------
+
+    def stats(self) -> ServiceStats:
+        """Immutable snapshot: latency percentiles, throughput, cache."""
+        with self._attach_lock:  # add_layer may be mutating the dict
+            caches = dict(self._caches)
+        cache_stats: dict[str, CacheStats] = {
+            name: cache.stats() for name, cache in caches.items()
+        }
+        return self._recorder.snapshot(cache_stats)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("service is closed")
+
+    def close(self) -> None:
+        """Drain pending lookups and release worker threads."""
+        if self._closed:
+            return
+        self._closed = True
+        self._batcher.close()
+        if self._executor is not None:
+            self._executor.close()
+
+    def __enter__(self) -> "JoinService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,105 @@
+"""Service-side observability: latency percentiles and throughput.
+
+A :class:`LatencyRecorder` keeps a bounded window of per-dispatch
+latencies (a dispatch is one vectorized join — a coalesced micro-batch or
+an explicit batch call) plus monotonically growing totals, and snapshots
+them into an immutable :class:`ServiceStats`.  Percentiles are over the
+window (recent behavior), totals and throughput over the service
+lifetime, mirroring how production serving dashboards separate the two.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serve.cache import CacheStats
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """One immutable snapshot of a running :class:`JoinService`."""
+
+    requests: int  # client-visible operations (lookups + batch joins)
+    points: int  # points joined in total (a layer fan-out counts per layer)
+    pairs: int  # join pairs emitted in total
+    dispatches: int  # vectorized joins executed
+    busy_seconds: float  # time spent inside join dispatches
+    mean_ms: float  # over the latency window
+    p50_ms: float
+    p99_ms: float
+    throughput_pps: float  # points per busy second, lifetime
+    cache: dict[str, CacheStats] = field(default_factory=dict)
+
+    @property
+    def mean_batch_size(self) -> float:
+        if self.dispatches == 0:
+            return 0.0
+        return self.points / self.dispatches
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Point-weighted hit rate aggregated across all layer caches."""
+        hits = sum(s.hits for s in self.cache.values())
+        requests = sum(s.requests for s in self.cache.values())
+        if requests == 0:
+            return 0.0
+        return hits / requests
+
+
+class LatencyRecorder:
+    """Thread-safe dispatch recorder behind :class:`ServiceStats`."""
+
+    def __init__(self, window: int = 8192):
+        self._samples: deque[float] = deque(maxlen=window)
+        self._lock = threading.Lock()
+        self._requests = 0
+        self._points = 0
+        self._pairs = 0
+        self._dispatches = 0
+        self._busy_seconds = 0.0
+
+    def record(
+        self, *, requests: int, points: int, pairs: int, seconds: float
+    ) -> None:
+        """Record one dispatch covering ``requests`` client operations."""
+        with self._lock:
+            self._samples.append(seconds)
+            self._requests += requests
+            self._points += points
+            self._pairs += pairs
+            self._dispatches += 1
+            self._busy_seconds += seconds
+
+    def snapshot(
+        self, cache: dict[str, CacheStats] | None = None
+    ) -> ServiceStats:
+        with self._lock:
+            samples = np.asarray(self._samples, dtype=np.float64)
+            requests = self._requests
+            points = self._points
+            pairs = self._pairs
+            dispatches = self._dispatches
+            busy = self._busy_seconds
+        if samples.size:
+            mean_ms = float(samples.mean() * 1e3)
+            p50_ms = float(np.percentile(samples, 50) * 1e3)
+            p99_ms = float(np.percentile(samples, 99) * 1e3)
+        else:
+            mean_ms = p50_ms = p99_ms = 0.0
+        throughput = points / busy if busy > 0 else 0.0
+        return ServiceStats(
+            requests=requests,
+            points=points,
+            pairs=pairs,
+            dispatches=dispatches,
+            busy_seconds=busy,
+            mean_ms=mean_ms,
+            p50_ms=p50_ms,
+            p99_ms=p99_ms,
+            throughput_pps=throughput,
+            cache=dict(cache or {}),
+        )

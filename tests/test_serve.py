@@ -1,0 +1,396 @@
+"""Tests for the online serving subsystem (repro.serve)."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro import JoinService, PolygonIndex
+from repro.geo.polygon import regular_polygon
+from repro.serve import (
+    CachedCellStore,
+    HotCellCache,
+    LayerRouter,
+    MicroBatcher,
+    MorselExecutor,
+)
+from repro.serve.batching import LookupRequest
+from repro.serve.cache import key_shift_for_level
+
+
+def _grid_polygons(origin_lng=-74.0, origin_lat=40.70):
+    return [
+        regular_polygon((origin_lng + gx * 0.02, origin_lat + gy * 0.02), 0.011, 16)
+        for gx in range(3)
+        for gy in range(3)
+    ]
+
+
+@pytest.fixture(scope="module")
+def index():
+    return PolygonIndex.build(_grid_polygons(), precision_meters=30.0)
+
+
+@pytest.fixture(scope="module")
+def second_index():
+    # A coarser second layer over the same area (different polygon set).
+    polygons = [
+        regular_polygon((-74.0 + gx * 0.04, 40.70 + gy * 0.04), 0.02, 12)
+        for gx in range(2)
+        for gy in range(2)
+    ]
+    return PolygonIndex.build(polygons, precision_meters=60.0)
+
+
+@pytest.fixture(scope="module")
+def points():
+    rng = np.random.default_rng(21)
+    lngs = rng.uniform(-74.03, -73.93, 8_000)
+    lats = rng.uniform(40.67, 40.77, 8_000)
+    return lats, lngs
+
+
+@pytest.fixture()
+def service(index, second_index):
+    with JoinService(
+        {"zones": index, "coarse": second_index},
+        default_layer="zones",
+        max_wait_ms=0.5,
+    ) as svc:
+        yield svc
+
+
+class TestServiceJoin:
+    @pytest.mark.parametrize("exact", [False, True])
+    def test_counts_identical_to_direct_join(self, index, points, exact):
+        lats, lngs = points
+        direct = index.join(lats, lngs, exact=exact)
+        with JoinService(index) as svc:
+            served = svc.join(lats, lngs, exact=exact)
+        assert np.array_equal(served.counts, direct.counts)
+        assert served.num_pairs == direct.num_pairs
+        assert served.num_pip_tests == direct.num_pip_tests
+        assert served.solely_true_hits == direct.solely_true_hits
+
+    @pytest.mark.parametrize("exact", [False, True])
+    def test_counts_identical_with_warm_cache(self, index, points, exact):
+        lats, lngs = points
+        direct = index.join(lats, lngs, exact=exact)
+        with JoinService(index) as svc:
+            svc.join(lats, lngs, exact=exact)  # warm the cache
+            served = svc.join(lats, lngs, exact=exact)
+        assert np.array_equal(served.counts, direct.counts)
+
+    @pytest.mark.parametrize("exact", [False, True])
+    def test_counts_identical_with_morsel_parallelism(self, index, points, exact):
+        lats, lngs = points
+        direct = index.join(lats, lngs, exact=exact)
+        with JoinService(index, num_threads=4, morsel_size=512) as svc:
+            served = svc.join(lats, lngs, exact=exact)
+        assert np.array_equal(served.counts, direct.counts)
+        assert served.num_pairs == direct.num_pairs
+        assert served.solely_true_hits == direct.solely_true_hits
+
+    def test_materialized_pairs_match_direct(self, index, points):
+        lats, lngs = points
+        direct = index.join(lats, lngs, materialize=True)
+        with JoinService(index, num_threads=2, morsel_size=1024) as svc:
+            served = svc.join(lats, lngs, materialize=True)
+        direct_pairs = set(zip(direct.pair_points.tolist(), direct.pair_polygons.tolist()))
+        served_pairs = set(zip(served.pair_points.tolist(), served.pair_polygons.tolist()))
+        assert served_pairs == direct_pairs
+
+    def test_multi_layer_counts_identical(self, service, index, second_index, points):
+        lats, lngs = points
+        results = service.join_layers(lats, lngs)
+        assert set(results) == {"zones", "coarse"}
+        assert np.array_equal(results["zones"].counts, index.join(lats, lngs).counts)
+        assert np.array_equal(
+            results["coarse"].counts, second_index.join(lats, lngs).counts
+        )
+
+    def test_layer_selection(self, service, second_index, points):
+        lats, lngs = points
+        only = service.join_layers(lats, lngs, layers=["coarse"])
+        assert list(only) == ["coarse"]
+        assert np.array_equal(only["coarse"].counts, second_index.join(lats, lngs).counts)
+
+    def test_unknown_layer_raises(self, service, points):
+        lats, lngs = points
+        with pytest.raises(KeyError, match="nope"):
+            service.join(lats, lngs, layer="nope")
+        with pytest.raises(KeyError):
+            service.submit(40.7, -74.0, layer="nope")
+
+    def test_closed_service_rejects_work(self, index):
+        svc = JoinService(index)
+        svc.close()
+        with pytest.raises(RuntimeError):
+            svc.join(np.asarray([40.7]), np.asarray([-74.0]))
+
+    def test_served_index_survives_add_polygon(self, points):
+        # add_polygon rebuilds the index's store AND lookup table; the
+        # service must drop its cached store instead of mixing old/new.
+        lats, lngs = points
+        index = PolygonIndex.build(_grid_polygons(), precision_meters=30.0)
+        with JoinService(index) as svc:
+            svc.join(lats, lngs)  # warm the (soon stale) cache
+            index.add_polygon(regular_polygon((-73.96, 40.76), 0.015, 14))
+            served = svc.join(lats, lngs, exact=True)
+        assert np.array_equal(served.counts, index.join(lats, lngs, exact=True).counts)
+
+
+class TestMicroBatching:
+    def test_lookup_matches_containing_polygons(self, service, index, points):
+        lats, lngs = points
+        for i in range(25):
+            assert service.lookup(lats[i], lngs[i], exact=True) == (
+                index.containing_polygons(lats[i], lngs[i])
+            )
+
+    def test_concurrent_submission_many_threads(self, service, index, points):
+        lats, lngs = points
+        num = 300
+        expected = [
+            index.containing_polygons(lats[i], lngs[i]) for i in range(num)
+        ]
+        with ThreadPoolExecutor(max_workers=16) as clients:
+            futures = [
+                clients.submit(service.lookup, lats[i], lngs[i], exact=True)
+                for i in range(num)
+            ]
+            got = [f.result(timeout=30) for f in futures]
+        assert got == expected
+
+    def test_concurrent_lookups_coalesce(self, index, points):
+        lats, lngs = points
+        with JoinService(index, max_batch=64, max_wait_ms=20.0) as svc:
+            with ThreadPoolExecutor(max_workers=16) as clients:
+                futures = [
+                    clients.submit(svc.lookup, lats[i], lngs[i])
+                    for i in range(128)
+                ]
+                for f in futures:
+                    f.result(timeout=30)
+            stats = svc.stats()
+        assert stats.requests == 128
+        # Coalescing must have packed multiple lookups per dispatch.
+        assert stats.dispatches < 128
+
+    def test_mixed_routes_in_one_batch(self, service, index, second_index, points):
+        lats, lngs = points
+        futures = [
+            service.submit(lats[0], lngs[0], layer="zones"),
+            service.submit(lats[0], lngs[0], layer="coarse", exact=True),
+            service.submit(lats[1], lngs[1], layer="zones", exact=True),
+        ]
+        assert futures[0].result(timeout=30) is not None
+        assert futures[1].result(timeout=30) == second_index.containing_polygons(
+            lats[0], lngs[0]
+        )
+        assert futures[2].result(timeout=30) == index.containing_polygons(
+            lats[1], lngs[1]
+        )
+
+    def test_flush_errors_propagate_to_futures(self):
+        def broken_flush(layer, exact, requests):
+            raise ValueError("boom")
+
+        with MicroBatcher(broken_flush, max_wait_ms=0.0) as batcher:
+            future = batcher.submit(LookupRequest(40.7, -74.0))
+            with pytest.raises(ValueError, match="boom"):
+                future.result(timeout=10)
+
+    def test_cancelled_future_does_not_poison_batch(self, index, points):
+        lats, lngs = points
+        with JoinService(index, max_batch=8, max_wait_ms=200.0) as svc:
+            cancelled = svc.submit(lats[0], lngs[0])
+            alive = svc.submit(lats[1], lngs[1])
+            assert cancelled.cancel()
+            # The batchmate must still get its own result.
+            assert alive.result(timeout=30) == index.containing_polygons(
+                lats[1], lngs[1]
+            )
+
+    def test_close_drains_queue(self, index, points):
+        lats, lngs = points
+        svc = JoinService(index, max_batch=8, max_wait_ms=50.0)
+        futures = [svc.submit(lats[i], lngs[i]) for i in range(20)]
+        svc.close()
+        for f in futures:
+            assert f.result(timeout=10) is not None
+
+
+class TestHotCellCache:
+    def test_lru_eviction_order(self):
+        cache = HotCellCache(capacity=2)
+        cache.put(1, 11)
+        cache.put(2, 22)
+        assert cache.get(1) == 11  # refresh 1; 2 becomes LRU
+        cache.put(3, 33)  # evicts 2
+        assert cache.get(2) is None
+        assert cache.get(1) == 11
+        assert cache.get(3) == 33
+        stats = cache.stats()
+        assert stats.evictions == 1
+        assert stats.size == 2
+
+    def test_hit_and_miss_accounting(self):
+        cache = HotCellCache(capacity=4)
+        assert cache.get(7, weight=3) is None
+        cache.put(7, 70)
+        assert cache.get(7, weight=5) == 70
+        stats = cache.stats()
+        assert stats.misses == 3
+        assert stats.hits == 5
+        assert stats.hit_rate == 5 / 8
+
+    def test_zero_capacity_disables_caching(self, index, points):
+        lats, lngs = points
+        cache = HotCellCache(capacity=0)
+        store = CachedCellStore(index.store, cache)
+        ids = index.cell_ids_for(lats[:100], lngs[:100])
+        assert np.array_equal(store.probe(ids), index.store.probe(ids))
+        assert cache.stats().requests == 0
+
+    def test_cached_probe_identical_and_hits_on_repeat(self, index, points):
+        lats, lngs = points
+        cache = HotCellCache(capacity=100_000)
+        histogram = index.super_covering.level_histogram()
+        store = CachedCellStore(
+            index.store, cache, key_shift=key_shift_for_level(max(histogram))
+        )
+        ids = index.cell_ids_for(lats, lngs)
+        assert np.array_equal(store.probe(ids), index.store.probe(ids))
+        misses_after_cold = cache.stats().misses
+        assert np.array_equal(store.probe(ids), index.store.probe(ids))
+        stats = cache.stats()
+        assert stats.misses == misses_after_cold  # warm pass: all hits
+        assert stats.hits >= len(ids)
+
+    def test_key_shift_validation(self):
+        assert key_shift_for_level(30) == 1  # drops only the marker bit
+        assert key_shift_for_level(20) == 21
+        with pytest.raises(ValueError):
+            key_shift_for_level(31)
+
+    def test_key_shift_groups_by_ancestor(self):
+        # Leaves under the same level-D ancestor share a key; leaves under
+        # sibling ancestors do not.
+        from repro.cells import CellId, LatLng
+
+        level = 20
+        shift = key_shift_for_level(level)
+        leaf = CellId.from_degrees(40.72, -74.0)
+        ancestor = leaf.parent(level)
+        children = [child.child(0) for child in ancestor.children()]
+        keys = {child.id >> shift for child in children}
+        assert keys == {ancestor.id >> shift}
+        sibling = CellId(ancestor.id + 2 * (ancestor.id & -ancestor.id))
+        assert (sibling.id >> shift) != (ancestor.id >> shift)
+
+    def test_service_reports_cache_hit_rate(self, index, points):
+        lats, lngs = points
+        with JoinService(index, cache_cells=100_000) as svc:
+            svc.join(lats, lngs)
+            svc.join(lats, lngs)
+            stats = svc.stats()
+        assert 0.0 < stats.cache_hit_rate <= 1.0
+        assert stats.cache["default"].hits > 0
+
+
+class TestLayerRouter:
+    def test_single_layer_is_default(self, index):
+        router = LayerRouter({"only": index})
+        assert router.resolve() == ("only", index)
+
+    def test_multi_layer_requires_explicit_default(self, index, second_index):
+        router = LayerRouter({"a": index, "b": second_index})
+        with pytest.raises(KeyError):
+            router.resolve()
+        assert router.resolve("b") == ("b", second_index)
+
+    def test_select_all_and_subset(self, index, second_index):
+        router = LayerRouter({"a": index, "b": second_index})
+        assert [name for name, _ in router.select()] == ["a", "b"]
+        assert [name for name, _ in router.select(["b"])] == ["b"]
+
+    def test_duplicate_and_unknown_layers(self, index):
+        router = LayerRouter({"a": index})
+        with pytest.raises(ValueError):
+            router.add("a", index)
+        with pytest.raises(KeyError):
+            router.resolve("missing")
+
+    def test_add_layer_on_live_service(self, index, second_index, points):
+        lats, lngs = points
+        with JoinService({"zones": index}) as svc:
+            svc.add_layer("extra", second_index)
+            assert "extra" in svc.layers
+            served = svc.join(lats, lngs, layer="extra")
+        assert np.array_equal(served.counts, second_index.join(lats, lngs).counts)
+
+
+class TestMorselExecutor:
+    def test_covers_every_range_in_order(self):
+        with MorselExecutor(num_threads=4, morsel_size=10) as executor:
+            ranges = executor.map_morsels(95, lambda lo, hi: (lo, hi))
+        assert ranges[0] == (0, 10)
+        assert ranges[-1] == (90, 95)
+        assert sum(hi - lo for lo, hi in ranges) == 95
+
+    def test_single_morsel_runs_inline(self):
+        calls = []
+        with MorselExecutor(num_threads=2, morsel_size=100) as executor:
+            assert executor.map_morsels(40, lambda lo, hi: calls.append((lo, hi))) == [None]
+        assert calls == [(0, 40)]
+
+    def test_empty_input(self):
+        with MorselExecutor(num_threads=2) as executor:
+            assert executor.map_morsels(0, lambda lo, hi: 1) == []
+
+    def test_work_actually_runs_on_multiple_threads(self):
+        seen = set()
+        barrier = threading.Barrier(2, timeout=10)
+
+        def work(lo, hi):
+            barrier.wait()  # both threads must be inside work at once
+            seen.add(threading.get_ident())
+
+        with MorselExecutor(num_threads=2, morsel_size=5) as executor:
+            executor.map_morsels(10, work)
+        assert len(seen) == 2
+
+
+class TestServiceStats:
+    def test_latency_and_throughput_snapshot(self, index, points):
+        lats, lngs = points
+        with JoinService(index) as svc:
+            for lo in range(0, 4000, 500):
+                svc.join(lats[lo : lo + 500], lngs[lo : lo + 500])
+            stats = svc.stats()
+        assert stats.requests == 8
+        assert stats.points == 4000
+        assert stats.dispatches == 8
+        assert stats.mean_batch_size == 500
+        assert stats.p50_ms > 0
+        assert stats.p99_ms >= stats.p50_ms
+        assert stats.throughput_pps > 0
+        assert stats.busy_seconds > 0
+
+    def test_fan_out_counts_as_one_request(self, index, second_index, points):
+        lats, lngs = points
+        with JoinService({"a": index, "b": second_index}) as svc:
+            svc.join_layers(lats[:100], lngs[:100])
+            stats = svc.stats()
+        assert stats.requests == 1  # one client operation...
+        assert stats.dispatches == 2  # ...dispatched once per layer
+        assert stats.points == 200
+
+    def test_empty_snapshot(self, index):
+        with JoinService(index) as svc:
+            stats = svc.stats()
+        assert stats.requests == 0
+        assert stats.p50_ms == 0.0
+        assert stats.cache_hit_rate == 0.0
