@@ -22,13 +22,16 @@ setup(
         "Reproduction of 'Adaptive Main-Memory Indexing for High-Performance "
         "Point-Polygon Joins' (EDBT 2020), with an online join service"
     ),
-    long_description=(ROOT / "DESIGN.md").read_text(encoding="utf-8"),
+    long_description=(ROOT / "README.md").read_text(encoding="utf-8"),
     long_description_content_type="text/markdown",
     package_dir={"": "src"},
     packages=find_packages("src"),
     python_requires=">=3.10",
     install_requires=["numpy>=1.22"],
     extras_require={
-        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+        # scipy backs the synthetic Voronoi polygon generators
+        # (repro.datasets), which the tests and benches build on.
+        "datasets": ["scipy>=1.8"],
+        "test": ["pytest", "pytest-benchmark", "hypothesis", "scipy>=1.8"],
     },
 )

@@ -32,6 +32,7 @@ from repro.cells.coverer import CovererOptions, RegionCoverer
 from repro.core import (
     AdaptiveCellTrie,
     CompressedCellTrie,
+    DynamicPolygonIndex,
     JoinResult,
     LookupTable,
     PolygonIndex,
@@ -48,12 +49,14 @@ from repro.core import (
 from repro.geo import Polygon, Rect, Ring, polygon_from_wkt, polygon_to_wkt
 from repro.serve import (
     HotCellCache,
+    JoinableIndex,
     JoinService,
     LayerRouter,
+    LayerStatus,
     ServiceStats,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CellId",
@@ -80,9 +83,12 @@ __all__ = [
     "Ring",
     "polygon_from_wkt",
     "polygon_to_wkt",
+    "DynamicPolygonIndex",
     "HotCellCache",
+    "JoinableIndex",
     "JoinService",
     "LayerRouter",
+    "LayerStatus",
     "ServiceStats",
     "__version__",
 ]

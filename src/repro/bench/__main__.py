@@ -18,7 +18,7 @@ import sys
 import time
 
 from repro.bench import fig7, fig8, fig9, fig10, fig11
-from repro.bench import serve_bench
+from repro.bench import churn_bench, serve_bench
 from repro.bench import table1, table2, table3, table4, table5, training_bench
 from repro.bench.config import BenchConfig
 from repro.bench.workbench import Workbench
@@ -37,6 +37,7 @@ RUNNERS = {
     "fig10": fig10.run,
     "fig11": fig11.run,
     "serve": serve_bench.run,
+    "churn": churn_bench.run,
 }
 
 

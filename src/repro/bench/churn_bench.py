@@ -1,0 +1,150 @@
+"""Update throughput: probe latency under concurrent polygon churn.
+
+Not a paper experiment — the paper's ACT is immutable; this measures the
+``repro.core.dynamic`` lifecycle layer.  A writer thread applies an online
+insert/delete stream (``datasets.polygon_churn_workload``) to a
+:class:`~repro.core.dynamic.DynamicPolygonIndex` with background
+compaction while the main thread keeps probing it with taxi-style point
+batches.  Reported per phase:
+
+* **static** — probe latency over the initial snapshot, churn off (the
+  immutable-index baseline every delta probe is compared against),
+* **churn** — probe latency while the writer thread mutates the index at
+  full speed (delta overlay + tombstone masking on the probe path),
+* **compacted** — probe latency after the final compaction folded the
+  delta back into a fresh base snapshot (should return to static).
+
+The closing notes state the update throughput (ops/s, including inline
+covering + delta store builds), the number of compactions installed, and
+the accepted probe-latency regression under churn.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.bench.result import ExperimentResult
+from repro.bench.workbench import Workbench
+from repro.core.dynamic import DynamicPolygonIndex
+from repro.datasets import polygon_churn_workload
+from repro.util.timing import Timer
+
+#: Precision bound (meters) for the churned layer.
+CHURN_PRECISION = 60.0
+
+
+def _probe_latencies(
+    index: DynamicPolygonIndex,
+    lats: np.ndarray,
+    lngs: np.ndarray,
+    batch_size: int,
+    stop: threading.Event | None = None,
+) -> list[float]:
+    """Per-batch probe seconds, cycling the point stream until ``stop``.
+
+    Only full batches are measured (a trailing partial batch would skew
+    both the latency percentiles and the points-per-second accounting).
+    """
+    batch_size = max(1, min(batch_size, len(lats)))  # never an empty cycle
+    usable = (len(lats) // batch_size) * batch_size
+    latencies: list[float] = []
+    while True:
+        for lo in range(0, usable, batch_size):
+            with Timer() as timer:
+                index.join(lats[lo : lo + batch_size], lngs[lo : lo + batch_size])
+            latencies.append(timer.seconds)
+            if stop is not None and stop.is_set():
+                return latencies
+        if stop is None:
+            return latencies
+
+
+def _percentiles_ms(latencies: list[float]) -> tuple[float, float]:
+    samples = np.asarray(latencies, dtype=np.float64)
+    return (
+        float(np.percentile(samples, 50) * 1e3),
+        float(np.percentile(samples, 99) * 1e3),
+    )
+
+
+def run(workbench: Workbench) -> list[ExperimentResult]:
+    config = workbench.config
+    workload = polygon_churn_workload(
+        num_initial=config.churn_initial_polygons,
+        num_ops=config.churn_ops,
+        num_probe_points=config.churn_probe_points,
+        seed=config.seed,
+    )
+    index = DynamicPolygonIndex.build(
+        list(workload.initial),
+        precision_meters=CHURN_PRECISION,
+        compact_threshold=config.churn_compact_threshold,
+        background=True,
+    )
+    lats, lngs = workload.probe_lats, workload.probe_lngs
+    # Clamp once so the latency loop and the pts/s accounting agree.
+    batch = max(1, min(config.churn_probe_batch, len(lats)))
+
+    result = ExperimentResult(
+        experiment_id="churn",
+        title="Probe latency under online polygon churn (delta overlay)",
+        headers=["phase", "batches", "p50 ms", "p99 ms", "probe pts/s"],
+    )
+
+    def add_phase(phase: str, latencies: list[float]) -> None:
+        p50, p99 = _percentiles_ms(latencies)
+        total = sum(latencies)
+        pps = len(latencies) * batch / total if total > 0 else 0.0
+        result.add_row(phase, len(latencies), f"{p50:.2f}", f"{p99:.2f}", f"{pps:,.0f}")
+
+    # Phase 1: static baseline (no churn).
+    static = _probe_latencies(index, lats, lngs, batch)
+    add_phase("static", static)
+    static_p50, _ = _percentiles_ms(static)
+
+    # Phase 2: probe while a writer thread applies the churn stream.
+    done = threading.Event()
+    update_seconds = [0.0]
+
+    def writer() -> None:
+        try:
+            with Timer() as timer:
+                for op in workload.ops:
+                    if op.kind == "insert":
+                        index.insert(op.polygon)
+                    else:
+                        index.delete(op.polygon_id)
+            update_seconds[0] = timer.seconds
+        finally:
+            done.set()
+
+    thread = threading.Thread(target=writer, name="churn-writer")
+    thread.start()
+    churn = _probe_latencies(index, lats, lngs, batch, stop=done)
+    thread.join()
+    index.wait_for_compaction()
+    add_phase("churn", churn)
+    churn_p50, _ = _percentiles_ms(churn)
+
+    # Phase 3: steady state after folding the delta into a fresh snapshot.
+    if index.delta_size:
+        index.compact()
+    compacted = _probe_latencies(index, lats, lngs, batch)
+    add_phase("compacted", compacted)
+
+    ops_per_second = (
+        len(workload.ops) / update_seconds[0] if update_seconds[0] > 0 else 0.0
+    )
+    result.add_note(
+        f"{len(workload.ops)} ops ({workload.num_inserts} inserts, "
+        f"{workload.num_deletes} deletes) at {ops_per_second:,.1f} ops/s; "
+        f"{index.compactions} compaction(s); {index.num_polygons} live polygons"
+    )
+    slowdown = churn_p50 / static_p50 if static_p50 > 0 else float("inf")
+    result.add_note(
+        f"probe p50 under churn: {slowdown:.1f}x static "
+        "(acceptance: service keeps answering during updates, no restart)"
+    )
+    return [result]

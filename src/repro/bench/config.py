@@ -45,6 +45,16 @@ class BenchConfig:
     serve_batch_sizes: tuple[int, ...] = (16, 256, 4096)
     #: Serving benchmark: sampled one-point-at-a-time submissions.
     serve_lookups: int = 1_000
+    #: Churn benchmark: initial polygons in the dynamic layer.
+    churn_initial_polygons: int = 250
+    #: Churn benchmark: online insert/delete operations applied.
+    churn_ops: int = 300
+    #: Churn benchmark: probe points cycled while churning.
+    churn_probe_points: int = 200_000
+    #: Churn benchmark: probe batch size (per-batch latency samples).
+    churn_probe_batch: int = 8192
+    #: Churn benchmark: pending ops triggering background compaction.
+    churn_compact_threshold: int = 48
     #: Base RNG seed for every generator.
     seed: int = 42
 
@@ -63,6 +73,11 @@ class BenchConfig:
             serve_requests=30_000,
             serve_batch_sizes=(16, 256),
             serve_lookups=200,
+            churn_initial_polygons=60,
+            churn_ops=40,
+            churn_probe_points=30_000,
+            churn_probe_batch=4_096,
+            churn_compact_threshold=16,
         )
 
     @staticmethod

@@ -6,7 +6,7 @@ BOS 42) and point sets scaled to the paper's relative sizes.
 
 from __future__ import annotations
 
-from repro.baselines import BTreeStore, SortedVectorStore
+from repro.baselines import SortedVectorStore
 from repro.bench.measure import probe_throughput_mpts
 from repro.bench.result import ExperimentResult
 from repro.bench.workbench import STORE_FACTORIES, Workbench

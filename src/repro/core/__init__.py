@@ -10,7 +10,10 @@
   (Section 3.3.1),
 * :mod:`repro.core.joins` — the approximate and accurate join algorithms
   (Listing 3),
-* :mod:`repro.core.builder` — the high-level :class:`PolygonIndex` facade.
+* :mod:`repro.core.builder` — the high-level :class:`PolygonIndex` facade
+  and the reusable build pipeline with versioned snapshots,
+* :mod:`repro.core.dynamic` — the dynamic index lifecycle: delta overlays,
+  tombstones, and background compaction over an immutable base snapshot.
 """
 
 from repro.core.refs import PolygonRef, merge_refs
@@ -27,7 +30,20 @@ from repro.core.joins import (
     batch_probe,
     refine_candidates,
 )
-from repro.core.builder import PolygonIndex
+from repro.core.builder import (
+    PolygonIndex,
+    ProbeView,
+    build_pipeline,
+    build_store,
+    cover_polygon,
+    next_index_version,
+)
+from repro.core.dynamic import (
+    DeltaOp,
+    DynamicIndexState,
+    DynamicPolygonIndex,
+    OverlayCellStore,
+)
 from repro.core.serialize import load_index, save_index
 
 __all__ = [
@@ -46,6 +62,15 @@ __all__ = [
     "batch_probe",
     "refine_candidates",
     "PolygonIndex",
+    "ProbeView",
+    "build_pipeline",
+    "build_store",
+    "cover_polygon",
+    "next_index_version",
+    "DeltaOp",
+    "DynamicIndexState",
+    "DynamicPolygonIndex",
+    "OverlayCellStore",
     "save_index",
     "load_index",
 ]

@@ -35,7 +35,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.cells.cellid import MAX_LEVEL, NUM_FACES, CellId
+from repro.cells.cellid import MAX_LEVEL, CellId
 from repro.core.lookup_table import LookupTable, TAG_POINTER
 from repro.core.refs import PolygonRef
 from repro.core.super_covering import SuperCovering

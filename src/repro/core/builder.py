@@ -11,6 +11,16 @@
    supplied via ``store_factory`` (B-tree, sorted vector, ...), which is how
    the evaluation swaps physical representations.
 
+The pipeline stages are exposed as free functions (:func:`cover_polygon`,
+:func:`build_pipeline`, :func:`build_store`) so every build path — a full
+offline build, the delta-overlay builds of
+:class:`~repro.core.dynamic.DynamicPolygonIndex`, and background
+compaction — runs the exact same code instead of re-implementing it.
+
+Every built index is stamped with a process-wide monotonically increasing
+``version`` (see :func:`next_index_version`), which is what the serving
+layer keys its caches on and how a snapshot swap is made unambiguous.
+
 Typical usage::
 
     index = PolygonIndex.build(polygons, precision_meters=4.0)
@@ -20,11 +30,14 @@ Typical usage::
 
 from __future__ import annotations
 
+import itertools
+import threading
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from repro.cells.cellid import CellId
 from repro.cells.coverer import CovererOptions, RegionCoverer
 from repro.cells.vectorized import cell_ids_from_lat_lng_arrays
 from repro.core.act import AdaptiveCellTrie
@@ -48,6 +61,32 @@ from repro.util.timing import Timer
 DEFAULT_COVERING_OPTIONS = CovererOptions(max_cells=128, max_level=28)
 DEFAULT_INTERIOR_OPTIONS = CovererOptions(max_cells=256, max_level=20)
 
+# ----------------------------------------------------------------------
+# Index versioning
+# ----------------------------------------------------------------------
+
+_version_lock = threading.Lock()
+_version_counter = itertools.count(1)
+
+
+def next_index_version() -> int:
+    """The next process-wide index version (monotonically increasing).
+
+    Every built snapshot — full build, delta rebuild, compaction, load from
+    disk — gets a strictly larger version than anything built before it, so
+    "newer" is always well-defined when the serving layer swaps snapshots.
+    """
+    with _version_lock:
+        return next(_version_counter)
+
+
+def ensure_version_floor(version: int) -> None:
+    """Make future versions exceed ``version`` (used when loading files)."""
+    global _version_counter
+    with _version_lock:
+        current = next(_version_counter)
+        _version_counter = itertools.count(max(current, version + 1))
+
 
 @dataclass
 class BuildTimings:
@@ -70,18 +109,202 @@ class BuildTimings:
         )
 
 
+# ----------------------------------------------------------------------
+# The reusable build pipeline
+# ----------------------------------------------------------------------
+
+
+def cover_polygon(
+    polygon: Polygon,
+    covering_options: CovererOptions = DEFAULT_COVERING_OPTIONS,
+    interior_options: CovererOptions = DEFAULT_INTERIOR_OPTIONS,
+) -> tuple[list[CellId], list[CellId]]:
+    """Stage 1 for one polygon: its covering and interior covering."""
+    covering = RegionCoverer(covering_options).covering(polygon)
+    interior = RegionCoverer(interior_options).interior_covering(polygon)
+    return covering, interior
+
+
+@dataclass
+class BuildArtifacts:
+    """Everything one run of :func:`build_pipeline` produces."""
+
+    super_covering: SuperCovering
+    store: object
+    lookup_table: LookupTable
+    timings: BuildTimings
+    training_report: TrainingReport | None
+
+
+def build_store(
+    super_covering: SuperCovering,
+    *,
+    fanout_bits: int = 8,
+    store_factory: Callable[[SuperCovering, LookupTable], object] | None = None,
+) -> tuple[object, LookupTable]:
+    """Stage 4: index a super covering in a physical cell store."""
+    lookup_table = LookupTable()
+    if store_factory is None:
+        store = AdaptiveCellTrie(
+            super_covering, fanout_bits=fanout_bits, lookup_table=lookup_table
+        )
+    else:
+        store = store_factory(super_covering, lookup_table)
+    return store, lookup_table
+
+
+def build_pipeline(
+    polygons_with_ids: Iterable[tuple[int, Polygon]],
+    polygons_by_id: Sequence[Polygon | None],
+    *,
+    precision_meters: float | None = None,
+    covering_options: CovererOptions = DEFAULT_COVERING_OPTIONS,
+    interior_options: CovererOptions = DEFAULT_INTERIOR_OPTIONS,
+    training_cell_ids: np.ndarray | None = None,
+    training_max_cells: int | None = None,
+    fanout_bits: int = 8,
+    store_factory: Callable[[SuperCovering, LookupTable], object] | None = None,
+) -> BuildArtifacts:
+    """Run covering → super covering → refinement/training → store.
+
+    The one build path shared by ``PolygonIndex.build``, the delta-overlay
+    builds of the dynamic index, and compaction.  ``polygons_with_ids``
+    names the polygons to index with their (stable, possibly sparse) ids;
+    ``polygons_by_id`` is the id-indexable sequence refinement and training
+    consult — entries for ids not being indexed may be ``None``.
+    """
+    covering_coverer = RegionCoverer(covering_options)
+    interior_coverer = RegionCoverer(interior_options)
+    with Timer() as cover_timer:
+        per_polygon = [
+            (
+                validate_polygon_id(pid),
+                covering_coverer.covering(polygon),
+                interior_coverer.interior_covering(polygon),
+            )
+            for pid, polygon in polygons_with_ids
+        ]
+    with Timer() as merge_timer:
+        super_covering = build_super_covering(per_polygon)
+    timings = BuildTimings(
+        individual_coverings_seconds=cover_timer.seconds,
+        super_covering_seconds=merge_timer.seconds,
+    )
+    if precision_meters is not None:
+        with Timer() as refine_timer:
+            refine_to_precision(super_covering, polygons_by_id, precision_meters)
+        timings.refinement_seconds = refine_timer.seconds
+    training_report = None
+    if training_cell_ids is not None:
+        with Timer() as train_timer:
+            training_report = train_super_covering(
+                super_covering,
+                polygons_by_id,
+                training_cell_ids,
+                max_cells=training_max_cells,
+            )
+        timings.training_seconds = train_timer.seconds
+    with Timer() as store_timer:
+        store, lookup_table = build_store(
+            super_covering, fanout_bits=fanout_bits, store_factory=store_factory
+        )
+    timings.store_build_seconds = store_timer.seconds
+    return BuildArtifacts(
+        super_covering=super_covering,
+        store=store,
+        lookup_table=lookup_table,
+        timings=timings,
+        training_report=training_report,
+    )
+
+
+@dataclass(frozen=True)
+class ProbeView:
+    """One immutable, internally consistent probe snapshot of an index.
+
+    The serving layer reads an index through this view: the ``store`` and
+    ``lookup_table`` were built together, ``polygons`` is the polygon
+    sequence the entries reference, and ``version`` identifies the whole
+    bundle — so a concurrent mutation or snapshot swap can never mix fields
+    from two generations.
+    """
+
+    version: int
+    store: object
+    lookup_table: LookupTable
+    polygons: tuple[Polygon | None, ...]
+    max_cell_level: int
+
+
+def join_probe_view(
+    view: ProbeView,
+    lats: np.ndarray,
+    lngs: np.ndarray,
+    *,
+    exact: bool = False,
+    materialize: bool = False,
+    cell_ids: np.ndarray | None = None,
+    num_threads: int = 1,
+) -> JoinResult:
+    """Join points against one immutable probe view.
+
+    The single dispatch shared by ``PolygonIndex.join`` and
+    ``DynamicPolygonIndex.join``: selects the approximate, accurate, or
+    multi-threaded driver and threads the view's store/table/polygons
+    through, so the two index types can never diverge in join behavior.
+    """
+    lats = np.asarray(lats, dtype=np.float64)
+    lngs = np.asarray(lngs, dtype=np.float64)
+    if cell_ids is None:
+        cell_ids = cell_ids_from_lat_lng_arrays(lats, lngs)
+    if num_threads > 1:
+        return parallel_count_join(
+            view.store,
+            view.lookup_table,
+            cell_ids,
+            len(view.polygons),
+            num_threads,
+            polygons=view.polygons if exact else None,
+            lngs=lngs if exact else None,
+            lats=lats if exact else None,
+        )
+    if exact:
+        return accurate_join(
+            view.store,
+            view.lookup_table,
+            cell_ids,
+            view.polygons,
+            lngs,
+            lats,
+            materialize=materialize,
+        )
+    return approximate_join(
+        view.store,
+        view.lookup_table,
+        cell_ids,
+        len(view.polygons),
+        materialize=materialize,
+    )
+
+
 class PolygonIndex:
-    """An immutable point-polygon join index over a set of polygons."""
+    """An immutable point-polygon join index over a set of polygons.
+
+    ``polygons`` is indexable by polygon id; slots may be ``None`` when the
+    index was produced by compacting a dynamic index whose ids are sparse
+    (deleted ids leave holes so surviving ids stay stable).
+    """
 
     def __init__(
         self,
-        polygons: Sequence[Polygon],
+        polygons: Sequence[Polygon | None],
         super_covering: SuperCovering,
         store: object,
         lookup_table: LookupTable,
         timings: BuildTimings,
         precision_meters: float | None,
         training_report: TrainingReport | None,
+        version: int | None = None,
     ):
         self.polygons = list(polygons)
         self.super_covering = super_covering
@@ -90,6 +313,8 @@ class PolygonIndex:
         self.timings = timings
         self.precision_meters = precision_meters
         self.training_report = training_report
+        self.version = next_index_version() if version is None else version
+        self._probe_view: ProbeView | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -122,56 +347,25 @@ class PolygonIndex:
             Alternative physical representation; defaults to ACT with
             ``fanout_bits`` bits per level.
         """
-        for pid in range(len(polygons)):
-            validate_polygon_id(pid)
-        covering_coverer = RegionCoverer(covering_options)
-        interior_coverer = RegionCoverer(interior_options)
-        with Timer() as cover_timer:
-            per_polygon = [
-                (
-                    pid,
-                    covering_coverer.covering(polygon),
-                    interior_coverer.interior_covering(polygon),
-                )
-                for pid, polygon in enumerate(polygons)
-            ]
-        with Timer() as merge_timer:
-            super_covering = build_super_covering(per_polygon)
-        timings = BuildTimings(
-            individual_coverings_seconds=cover_timer.seconds,
-            super_covering_seconds=merge_timer.seconds,
+        artifacts = build_pipeline(
+            enumerate(polygons),
+            polygons,
+            precision_meters=precision_meters,
+            covering_options=covering_options,
+            interior_options=interior_options,
+            training_cell_ids=training_cell_ids,
+            training_max_cells=training_max_cells,
+            fanout_bits=fanout_bits,
+            store_factory=store_factory,
         )
-        if precision_meters is not None:
-            with Timer() as refine_timer:
-                refine_to_precision(super_covering, polygons, precision_meters)
-            timings.refinement_seconds = refine_timer.seconds
-        training_report = None
-        if training_cell_ids is not None:
-            with Timer() as train_timer:
-                training_report = train_super_covering(
-                    super_covering,
-                    polygons,
-                    training_cell_ids,
-                    max_cells=training_max_cells,
-                )
-            timings.training_seconds = train_timer.seconds
-        lookup_table = LookupTable()
-        with Timer() as store_timer:
-            if store_factory is None:
-                store = AdaptiveCellTrie(
-                    super_covering, fanout_bits=fanout_bits, lookup_table=lookup_table
-                )
-            else:
-                store = store_factory(super_covering, lookup_table)
-        timings.store_build_seconds = store_timer.seconds
         return cls(
             polygons,
-            super_covering,
-            store,
-            lookup_table,
-            timings,
+            artifacts.super_covering,
+            artifacts.store,
+            artifacts.lookup_table,
+            artifacts.timings,
             precision_meters,
-            training_report,
+            artifacts.training_report,
         )
 
     # ------------------------------------------------------------------
@@ -198,37 +392,14 @@ class PolygonIndex:
         positives bounded by the build-time precision bound);
         ``exact=True`` runs the accurate join with a refinement phase.
         """
-        lats = np.asarray(lats, dtype=np.float64)
-        lngs = np.asarray(lngs, dtype=np.float64)
-        if cell_ids is None:
-            cell_ids = self.cell_ids_for(lats, lngs)
-        if num_threads > 1:
-            return parallel_count_join(
-                self.store,
-                self.lookup_table,
-                cell_ids,
-                len(self.polygons),
-                num_threads,
-                polygons=self.polygons if exact else None,
-                lngs=lngs if exact else None,
-                lats=lats if exact else None,
-            )
-        if exact:
-            return accurate_join(
-                self.store,
-                self.lookup_table,
-                cell_ids,
-                self.polygons,
-                lngs,
-                lats,
-                materialize=materialize,
-            )
-        return approximate_join(
-            self.store,
-            self.lookup_table,
-            cell_ids,
-            len(self.polygons),
+        return join_probe_view(
+            self.probe_view(),
+            lats,
+            lngs,
+            exact=exact,
             materialize=materialize,
+            cell_ids=cell_ids,
+            num_threads=num_threads,
         )
 
     def containing_polygons(self, lat: float, lng: float, exact: bool = True) -> list[int]:
@@ -238,6 +409,25 @@ class PolygonIndex:
         )
         assert result.pair_polygons is not None
         return sorted(int(p) for p in result.pair_polygons)
+
+    def max_cell_level(self) -> int:
+        """Deepest indexed cell level (bounds the probe's trie descent)."""
+        histogram = self.super_covering.level_histogram()
+        return max(histogram) if histogram else 0
+
+    def probe_view(self) -> ProbeView:
+        """The current :class:`ProbeView` (cached; invalidated on rebuild)."""
+        view = self._probe_view
+        if view is None or view.store is not self.store:
+            view = ProbeView(
+                version=self.version,
+                store=self.store,
+                lookup_table=self.lookup_table,
+                polygons=tuple(self.polygons),
+                max_cell_level=self.max_cell_level(),
+            )
+            self._probe_view = view
+        return view
 
     # ------------------------------------------------------------------
     # Updates (the paper's future-work path, Section 3.1.2)
@@ -249,11 +439,12 @@ class PolygonIndex:
         The paper notes that runtime insertion follows the same procedure
         as the build phase; we reproduce that path (and rebuild the static
         trie, as the paper's ACT is immutable once built).  Returns the new
-        polygon id.
+        polygon id.  For frequent updates, prefer
+        :class:`~repro.core.dynamic.DynamicPolygonIndex`, which amortizes
+        the rebuild behind a delta overlay.
         """
         new_pid = validate_polygon_id(len(self.polygons))
-        covering = RegionCoverer(DEFAULT_COVERING_OPTIONS).covering(polygon)
-        interior = RegionCoverer(DEFAULT_INTERIOR_OPTIONS).interior_covering(polygon)
+        covering, interior = cover_polygon(polygon)
         self.super_covering.insert_covering(new_pid, covering, interior)
         self.polygons.append(polygon)
         if self.precision_meters is not None:
@@ -268,16 +459,20 @@ class PolygonIndex:
             raise NotImplementedError(
                 "polygon insertion is only wired up for the ACT store"
             )
-        self.lookup_table = LookupTable()
-        self.store = AdaptiveCellTrie(
-            self.super_covering,
-            fanout_bits=self.store.fanout_bits,
-            lookup_table=self.lookup_table,
+        self.store, self.lookup_table = build_store(
+            self.super_covering, fanout_bits=self.store.fanout_bits
         )
+        self.version = next_index_version()
+        self._probe_view = None
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+
+    @property
+    def num_polygons(self) -> int:
+        """Live polygon count (holes from compacted deletes excluded)."""
+        return sum(1 for polygon in self.polygons if polygon is not None)
 
     @property
     def num_cells(self) -> int:
@@ -290,11 +485,12 @@ class PolygonIndex:
 
     def describe(self) -> dict[str, object]:
         info: dict[str, object] = {
-            "num_polygons": len(self.polygons),
+            "num_polygons": self.num_polygons,
             "num_cells": self.num_cells,
             "precision_meters": self.precision_meters,
             "size_bytes": self.size_bytes,
             "build_seconds": self.timings.total_seconds,
+            "version": self.version,
         }
         describe = getattr(self.store, "describe", None)
         if callable(describe):

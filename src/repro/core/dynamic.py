@@ -1,0 +1,764 @@
+"""Dynamic index lifecycle: delta overlays over an immutable base snapshot.
+
+The paper's ACT is immutable once built — the right trade for its
+mostly-static polygon sets, but a production geofencing layer churns:
+fences appear and retire continuously, and a full rebuild plus service
+restart per change is not an option.  :class:`DynamicPolygonIndex` applies
+the standard main-memory recipe (an immutable base structure plus a small
+mutable delta, compacted in the background) to the ACT stack:
+
+* the **base** is an ordinary immutable :class:`~repro.core.builder.PolygonIndex`
+  snapshot;
+* **inserts** go to a *delta overlay*: the new polygon is covered with the
+  exact same pipeline stages as a full build
+  (:func:`~repro.core.builder.cover_polygon` → its own small
+  :class:`~repro.core.super_covering.SuperCovering` → a small side cell
+  store), so delta probes carry the same precision guarantees;
+* **deletes** only record the polygon id in a *tombstone* set;
+* **probes** merge base and delta entries and mask tombstones inside
+  :class:`OverlayCellStore`, which satisfies the ordinary ``probe``
+  protocol — so the shared ``batch_probe``/``refine_candidates`` join
+  drivers (and everything layered on them: caching, morsel parallelism,
+  the serving facade) run unchanged and return results identical to a
+  fresh build over the current polygon set;
+* once the pending-operation count reaches ``compact_threshold``,
+  **compaction** runs the full build pipeline into a fresh versioned
+  snapshot (inline, or on a background thread with ``background=True``
+  while reads and writes continue) and atomically installs it.
+
+Polygon ids are *stable*: an insert is assigned the next id and keeps it
+across compactions; a delete leaves a hole (``None``) rather than
+renumbering survivors.  Every mutation and every compaction bumps the
+index ``version`` (monotonic across the process), which the serving layer
+uses to key caches and swap snapshots without ever serving stale entries.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.cells.coverer import CovererOptions
+from repro.core.builder import (
+    DEFAULT_COVERING_OPTIONS,
+    DEFAULT_INTERIOR_OPTIONS,
+    BuildTimings,
+    PolygonIndex,
+    ProbeView,
+    build_pipeline,
+    build_store,
+    cover_polygon,
+    join_probe_view,
+    next_index_version,
+)
+from repro.core.joins import JoinResult
+from repro.core.lookup_table import SENTINEL_ENTRY, LookupTable
+from repro.core.precision import refine_to_precision
+from repro.core.refs import merge_refs, validate_polygon_id
+from repro.core.super_covering import SuperCovering
+from repro.geo.polygon import Polygon
+
+
+class OverlayCellStore:
+    """Merge a base store and a delta store behind one ``probe`` protocol.
+
+    Probes both stores, decodes each distinct ``(base entry, delta entry)``
+    pair once, merges the reference sets, masks tombstoned polygon ids, and
+    re-encodes the merged set against its own lookup table — so downstream
+    drivers see one consistent ``(store, lookup_table)`` pair exactly as if
+    the index had been built over the merged polygon set.
+
+    The store is immutable with respect to the overlay state it was built
+    from (tombstones are copied, the delta store is never mutated after
+    construction), so a reader holding an old overlay keeps getting
+    consistent answers while the dynamic index moves on.
+    """
+
+    def __init__(
+        self,
+        base_store: object,
+        base_table: LookupTable,
+        delta_store: object | None,
+        delta_table: LookupTable | None,
+        tombstones: Sequence[int] | frozenset[int],
+    ):
+        self._base_store = base_store
+        self._base_table = base_table
+        self._delta_store = delta_store
+        self._delta_table = delta_table
+        self._tombstones = frozenset(tombstones)
+        #: Re-encoded merged entries live here; probe results must be
+        #: decoded against THIS table, never the base's or the delta's.
+        self.lookup_table = LookupTable()
+        self._memo: dict[tuple[int, int], int] = {}
+        self._memo_lock = threading.Lock()
+
+    def probe(self, query_ids: np.ndarray) -> np.ndarray:
+        query_ids = np.asarray(query_ids, dtype=np.uint64)
+        if query_ids.size == 0:
+            return np.zeros(0, dtype=np.uint64)
+        base_entries = self._base_store.probe(query_ids)
+        if self._delta_store is not None:
+            delta_entries = self._delta_store.probe(query_ids)
+        else:
+            delta_entries = np.zeros(len(query_ids), dtype=np.uint64)
+        # Merge each distinct (base, delta) entry pair exactly once: the
+        # number of distinct pairs is bounded by the covering sizes, not by
+        # the batch size, so the python-level merge stays off the hot path.
+        base_unique, base_inverse = np.unique(base_entries, return_inverse=True)
+        delta_unique, delta_inverse = np.unique(delta_entries, return_inverse=True)
+        combined = base_inverse.astype(np.int64) * len(delta_unique) + delta_inverse
+        pair_unique, pair_inverse = np.unique(combined, return_inverse=True)
+        merged = np.fromiter(
+            (
+                self._merge(
+                    int(base_unique[pair // len(delta_unique)]),
+                    int(delta_unique[pair % len(delta_unique)]),
+                )
+                for pair in pair_unique
+            ),
+            dtype=np.uint64,
+            count=len(pair_unique),
+        )
+        return merged[pair_inverse]
+
+    def _merge(self, base_entry: int, delta_entry: int) -> int:
+        memo_key = (base_entry, delta_entry)
+        entry = self._memo.get(memo_key)
+        if entry is not None:
+            return entry
+        refs = []
+        if base_entry != SENTINEL_ENTRY:
+            refs.extend(self._base_table.decode_entry(base_entry))
+        if delta_entry != SENTINEL_ENTRY:
+            refs.extend(self._delta_table.decode_entry(delta_entry))
+        live = tuple(
+            ref for ref in merge_refs(refs) if ref.polygon_id not in self._tombstones
+        )
+        with self._memo_lock:
+            entry = self.lookup_table.encode(live) if live else SENTINEL_ENTRY
+            self._memo[memo_key] = entry
+        return entry
+
+    @property
+    def size_bytes(self) -> int:
+        total = int(getattr(self._base_store, "size_bytes", 0))
+        if self._delta_store is not None:
+            total += int(getattr(self._delta_store, "size_bytes", 0))
+        return total + self.lookup_table.size_bytes
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "kind": "overlay",
+            "tombstones": len(self._tombstones),
+            "base": getattr(self._base_store, "describe", dict)(),
+        }
+
+
+@dataclass(frozen=True)
+class DeltaOp:
+    """One pending mutation in the delta log (also the serialized form)."""
+
+    kind: str  # "insert" | "delete"
+    polygon_id: int
+    polygon: Polygon | None  # payload for inserts, None for deletes
+
+
+@dataclass(frozen=True)
+class DynamicIndexState:
+    """Everything needed to persist/restore a :class:`DynamicPolygonIndex`.
+
+    Produced atomically by :meth:`DynamicPolygonIndex.export_state` and
+    consumed by :meth:`DynamicPolygonIndex.restore` — the one sanctioned
+    door into the index's internals, so persistence code never touches
+    private state.
+    """
+
+    base: PolygonIndex
+    pending: tuple[DeltaOp, ...]
+    compact_threshold: int | None
+    background: bool
+    covering_options: CovererOptions
+    interior_options: CovererOptions
+    training_cell_ids: np.ndarray | None
+    training_max_cells: int | None
+    store_factory: Callable[[SuperCovering, LookupTable], object] | None
+
+
+@dataclass(frozen=True)
+class _CompactionInput:
+    """Consistent state captured under the lock for one compaction run."""
+
+    polygons: tuple[Polygon | None, ...]
+    tombstones: frozenset[int]
+    ops_consumed: int
+    epoch: int  # base generation at capture; installs on a newer one abort
+
+
+class DynamicPolygonIndex:
+    """A point-polygon join index that supports online inserts and deletes.
+
+    Parameters
+    ----------
+    base:
+        The immutable snapshot to start from (any :class:`PolygonIndex`).
+    compact_threshold:
+        Number of pending delta operations that triggers a full rebuild
+        into a fresh snapshot; ``None`` disables automatic compaction
+        (call :meth:`compact` yourself).
+    background:
+        Run triggered compactions on a daemon thread while reads and
+        writes continue; operations arriving mid-compaction are replayed
+        into the new delta when the snapshot is installed.
+
+    Join results are always identical to a fresh
+    ``PolygonIndex.build`` over the current live polygon set (exact joins
+    unconditionally; approximate joins whenever no precision refinement or
+    training reshaped the covering), with polygon ids kept stable across
+    the whole lifecycle.
+    """
+
+    def __init__(
+        self,
+        base: PolygonIndex,
+        *,
+        compact_threshold: int | None = 64,
+        background: bool = False,
+        covering_options: CovererOptions = DEFAULT_COVERING_OPTIONS,
+        interior_options: CovererOptions = DEFAULT_INTERIOR_OPTIONS,
+        training_cell_ids: np.ndarray | None = None,
+        training_max_cells: int | None = None,
+        store_factory: Callable[[SuperCovering, LookupTable], object] | None = None,
+    ):
+        if compact_threshold is not None and compact_threshold < 1:
+            raise ValueError("compact_threshold must be >= 1 (or None)")
+        self._lock = threading.RLock()
+        self._compact_threshold = compact_threshold
+        self._background = background
+        self._covering_options = covering_options
+        self._interior_options = interior_options
+        self._training_cell_ids = training_cell_ids
+        self._training_max_cells = training_max_cells
+        self._store_factory = store_factory
+        self._fanout_bits = int(getattr(base.store, "fanout_bits", 8))
+        self._compactor: threading.Thread | None = None
+        self._compaction_active = False  # owned by _lock, unlike is_alive()
+        self._compaction_error: Exception | None = None
+        self._compactions = 0
+        self._epoch = 0
+        self._version = base.version
+        self._install_base(base, ops_consumed=0, bump_version=False)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        polygons: Sequence[Polygon],
+        *,
+        precision_meters: float | None = None,
+        fanout_bits: int = 8,
+        covering_options: CovererOptions = DEFAULT_COVERING_OPTIONS,
+        interior_options: CovererOptions = DEFAULT_INTERIOR_OPTIONS,
+        training_cell_ids: np.ndarray | None = None,
+        training_max_cells: int | None = None,
+        store_factory: Callable[[SuperCovering, LookupTable], object] | None = None,
+        compact_threshold: int | None = 64,
+        background: bool = False,
+    ) -> "DynamicPolygonIndex":
+        """Build the base snapshot and wrap it for online updates."""
+        base = PolygonIndex.build(
+            polygons,
+            precision_meters=precision_meters,
+            fanout_bits=fanout_bits,
+            covering_options=covering_options,
+            interior_options=interior_options,
+            training_cell_ids=training_cell_ids,
+            training_max_cells=training_max_cells,
+            store_factory=store_factory,
+        )
+        return cls(
+            base,
+            compact_threshold=compact_threshold,
+            background=background,
+            covering_options=covering_options,
+            interior_options=interior_options,
+            training_cell_ids=training_cell_ids,
+            training_max_cells=training_max_cells,
+            store_factory=store_factory,
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence (the sanctioned door into internal state)
+    # ------------------------------------------------------------------
+
+    def export_state(self) -> DynamicIndexState:
+        """Atomic snapshot of everything persistence needs.
+
+        The base and the pending log are read under the lock, so the pair
+        is always consistent (replaying ``pending`` onto ``base``
+        reproduces this index exactly).
+        """
+        with self._lock:
+            return DynamicIndexState(
+                base=self._base,
+                pending=tuple(self._pending),
+                compact_threshold=self._compact_threshold,
+                background=self._background,
+                covering_options=self._covering_options,
+                interior_options=self._interior_options,
+                training_cell_ids=self._training_cell_ids,
+                training_max_cells=self._training_max_cells,
+                store_factory=self._store_factory,
+            )
+
+    @classmethod
+    def restore(
+        cls,
+        base: PolygonIndex,
+        pending: Sequence[DeltaOp],
+        *,
+        compact_threshold: int | None = 64,
+        background: bool = False,
+        covering_options: CovererOptions = DEFAULT_COVERING_OPTIONS,
+        interior_options: CovererOptions = DEFAULT_INTERIOR_OPTIONS,
+        training_cell_ids: np.ndarray | None = None,
+        training_max_cells: int | None = None,
+        store_factory: Callable[[SuperCovering, LookupTable], object] | None = None,
+    ) -> "DynamicPolygonIndex":
+        """Rebuild a dynamic index from a base snapshot plus a delta log.
+
+        The inverse of :meth:`export_state`: ops are replayed in order
+        (re-covering inserted polygons through the configured pipeline
+        stages), and a replayed delta that already exceeds the compaction
+        threshold triggers compaction just like live mutations would.
+        """
+        dynamic = cls(
+            base,
+            compact_threshold=compact_threshold,
+            background=background,
+            covering_options=covering_options,
+            interior_options=interior_options,
+            training_cell_ids=training_cell_ids,
+            training_max_cells=training_max_cells,
+            store_factory=store_factory,
+        )
+        with dynamic._lock:
+            for op in pending:
+                dynamic._apply_op(op)
+            if pending:
+                dynamic._version = next_index_version()
+            dynamic._refresh_view()
+        dynamic._maybe_compact()
+        return dynamic
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def insert(self, polygon: Polygon) -> int:
+        """Add a polygon online; returns its (stable) id.
+
+        The polygon is covered through the shared build-pipeline stages and
+        indexed in the delta overlay; the base snapshot is untouched.
+        """
+        with self._lock:
+            pid = validate_polygon_id(len(self._polygons))
+            self._apply_op(DeltaOp("insert", pid, polygon))
+            self._version = next_index_version()
+            self._refresh_view()
+        self._maybe_compact()
+        return pid
+
+    def delete(self, polygon_id: int) -> None:
+        """Retire a polygon online (base or delta) via a tombstone."""
+        with self._lock:
+            if not self.is_live(polygon_id):
+                raise KeyError(f"polygon id {polygon_id} is not live")
+            self._apply_op(DeltaOp("delete", int(polygon_id), None))
+            self._version = next_index_version()
+            self._refresh_view()
+        self._maybe_compact()
+
+    def is_live(self, polygon_id: int) -> bool:
+        """Whether ``polygon_id`` currently participates in joins."""
+        return (
+            0 <= polygon_id < len(self._polygons)
+            and self._polygons[polygon_id] is not None
+            and polygon_id not in self._tombstones
+        )
+
+    def _apply_op(self, op: DeltaOp) -> None:
+        """Apply one mutation to the delta state and log it (lock held)."""
+        if op.kind == "insert":
+            self._apply_insert(op.polygon_id, op.polygon)
+        elif op.kind == "delete":
+            self._tombstones.add(op.polygon_id)
+        else:
+            raise ValueError(f"unknown delta op kind {op.kind!r}")
+        self._pending.append(op)
+
+    def _apply_insert(self, pid: int, polygon: Polygon) -> None:
+        if pid != len(self._polygons):
+            raise ValueError(
+                f"insert out of order: id {pid}, expected {len(self._polygons)}"
+            )
+        covering, interior = cover_polygon(
+            polygon, self._covering_options, self._interior_options
+        )
+        self._polygons.append(polygon)
+        if self.precision_meters is None:
+            self._delta_covering.insert_covering(pid, covering, interior)
+        else:
+            # Refine only the new polygon (in its own small covering), then
+            # merge the refined cells: earlier delta polygons were refined
+            # at their own insert, and conflict resolution preserves every
+            # point's reference set, so the precision bound carries over —
+            # without re-classifying the whole delta on each insert.
+            refined = SuperCovering()
+            refined.insert_covering(pid, covering, interior)
+            refine_to_precision(refined, self._polygons, self.precision_meters)
+            for cell, refs in refined.items():
+                self._delta_covering.insert(cell, refs)
+        # The delta store is tiny (bounded by the compaction threshold), so
+        # rebuilding it per insert is the cheap half of the bargain; old
+        # probe views keep their previous store, which is self-contained.
+        self._delta_store, self._delta_table = build_store(
+            self._delta_covering,
+            fanout_bits=self._fanout_bits,
+            store_factory=self._store_factory,
+        )
+        self._delta_ids.add(pid)
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+
+    def _maybe_compact(self) -> None:
+        if self._compact_threshold is None:
+            return
+        if len(self._pending) < self._compact_threshold:
+            return
+        if self._background:
+            self._start_background_compaction()
+        else:
+            # Loop: ops other threads land during the build are replayed as
+            # pending by the install and may reach the threshold again.
+            while len(self._pending) >= self._compact_threshold:
+                self.compact()
+
+    def compact(self) -> PolygonIndex:
+        """Rebuild the live polygon set into a fresh snapshot, inline.
+
+        Mutations arriving while the build runs are replayed into the new
+        delta at install time, so nothing is lost.  Returns the base the
+        index ends up on (a concurrently installed snapshot may win the
+        race, in which case this build is discarded).
+        """
+        with self._lock:
+            captured = self._capture()
+        snapshot = self._build_snapshot(captured)
+        with self._lock:
+            self._install_base(
+                snapshot, captured.ops_consumed, expected_epoch=captured.epoch
+            )
+            return self._base
+
+    def _start_background_compaction(self) -> None:
+        with self._lock:
+            # Checked against a lock-owned flag, not Thread.is_alive(): the
+            # worker clears the flag inside the same locked region where it
+            # decides to exit, so "skipped because one is running" always
+            # means that run will still observe our pending ops.
+            if self._compaction_active:
+                return
+            self._compaction_active = True
+            captured = self._capture()
+            thread = threading.Thread(
+                target=self._compact_worker,
+                args=(captured,),
+                name="repro-compaction",
+                daemon=True,
+            )
+            self._compactor = thread
+            thread.start()
+
+    def _compact_worker(self, captured: _CompactionInput) -> None:
+        try:
+            while True:
+                snapshot = self._build_snapshot(captured)
+                with self._lock:
+                    self._install_base(
+                        snapshot, captured.ops_consumed, expected_epoch=captured.epoch
+                    )
+                    # Ops replayed at install (or left pending by a
+                    # discarded stale build) can reach the threshold
+                    # again; keep compacting until the delta is small.
+                    # The active flag is cleared in the same locked region
+                    # as this exit decision, so a writer that was refused a
+                    # start always has its ops seen by this loop.
+                    if (
+                        self._compact_threshold is None
+                        or len(self._pending) < self._compact_threshold
+                    ):
+                        self._compaction_active = False
+                        return
+                    captured = self._capture()
+        except Exception as exc:  # surfaced via wait_for_compaction()
+            with self._lock:
+                self._compaction_active = False
+            self._compaction_error = exc
+
+    def wait_for_compaction(self, timeout: float | None = None) -> None:
+        """Block until any in-flight background compaction finishes."""
+        thread = self._compactor
+        if thread is not None:
+            thread.join(timeout)
+        if self._compaction_error is not None:
+            error, self._compaction_error = self._compaction_error, None
+            raise error
+
+    def _capture(self) -> _CompactionInput:
+        return _CompactionInput(
+            polygons=tuple(self._polygons),
+            tombstones=frozenset(self._tombstones),
+            ops_consumed=len(self._pending),
+            epoch=self._epoch,
+        )
+
+    def _build_snapshot(self, captured: _CompactionInput) -> PolygonIndex:
+        """Run the full build pipeline over the captured live set."""
+        polygons_by_id: list[Polygon | None] = [
+            None if pid in captured.tombstones else polygon
+            for pid, polygon in enumerate(captured.polygons)
+        ]
+        live_pairs = [
+            (pid, polygon)
+            for pid, polygon in enumerate(polygons_by_id)
+            if polygon is not None
+        ]
+        artifacts = build_pipeline(
+            live_pairs,
+            polygons_by_id,
+            precision_meters=self.precision_meters,
+            covering_options=self._covering_options,
+            interior_options=self._interior_options,
+            training_cell_ids=self._training_cell_ids,
+            training_max_cells=self._training_max_cells,
+            fanout_bits=self._fanout_bits,
+            store_factory=self._store_factory,
+        )
+        return PolygonIndex(
+            polygons_by_id,
+            artifacts.super_covering,
+            artifacts.store,
+            artifacts.lookup_table,
+            artifacts.timings,
+            self.precision_meters,
+            artifacts.training_report,
+        )
+
+    def _install_base(
+        self,
+        base: PolygonIndex,
+        ops_consumed: int,
+        bump_version: bool = True,
+        expected_epoch: int | None = None,
+    ) -> bool:
+        """Swap in a new base snapshot and replay not-yet-compacted ops.
+
+        ``expected_epoch`` guards compaction installs: if another snapshot
+        was installed since the build's capture, this one is stale — its
+        pending-ops bookkeeping no longer lines up, so installing it would
+        silently drop acknowledged mutations.  Such a build is discarded
+        (returns ``False``); the still-pending ops simply trigger the next
+        compaction.
+        """
+        with self._lock:
+            if expected_epoch is not None and expected_epoch != self._epoch:
+                return False
+            remaining = getattr(self, "_pending", [])[ops_consumed:]
+            self._base = base
+            self.precision_meters = base.precision_meters
+            self._polygons: list[Polygon | None] = list(base.polygons)
+            self._tombstones: set[int] = set()
+            self._delta_covering = SuperCovering()
+            self._delta_store: object | None = None
+            self._delta_table: LookupTable | None = None
+            self._delta_ids: set[int] = set()
+            self._pending: list[DeltaOp] = []
+            for op in remaining:
+                self._apply_op(op)
+            self._epoch += 1
+            if bump_version:
+                self._compactions += 1
+                self._version = next_index_version()
+            self._refresh_view()
+            return True
+
+    # ------------------------------------------------------------------
+    # Probe views
+    # ------------------------------------------------------------------
+
+    def _refresh_view(self) -> None:
+        """Publish a fresh immutable probe view (lock held)."""
+        if not self._delta_ids and not self._tombstones:
+            store: object = self._base.store
+            table = self._base.lookup_table
+            max_level = self._base.max_cell_level()
+        else:
+            store = OverlayCellStore(
+                self._base.store,
+                self._base.lookup_table,
+                self._delta_store,
+                self._delta_table,
+                self._tombstones,
+            )
+            table = store.lookup_table
+            histogram = self._delta_covering.level_histogram()
+            max_level = max(
+                self._base.max_cell_level(),
+                max(histogram) if histogram else 0,
+            )
+        self._view = ProbeView(
+            version=self._version,
+            store=store,
+            lookup_table=table,
+            polygons=tuple(self._polygons),
+            max_cell_level=max_level,
+        )
+
+    def probe_view(self) -> ProbeView:
+        """The current immutable probe snapshot (atomic read)."""
+        return self._view
+
+    # ------------------------------------------------------------------
+    # Queries (same shapes as PolygonIndex)
+    # ------------------------------------------------------------------
+
+    def cell_ids_for(self, lats: np.ndarray, lngs: np.ndarray) -> np.ndarray:
+        return self._base.cell_ids_for(lats, lngs)
+
+    def join(
+        self,
+        lats: np.ndarray,
+        lngs: np.ndarray,
+        *,
+        exact: bool = False,
+        materialize: bool = False,
+        cell_ids: np.ndarray | None = None,
+        num_threads: int = 1,
+    ) -> JoinResult:
+        """Join points against the current live polygon set.
+
+        Dispatches through the exact same shared drivers as
+        ``PolygonIndex.join``; the overlay store merges base and delta and
+        masks tombstones underneath them.
+        """
+        return join_probe_view(
+            self._view,
+            lats,
+            lngs,
+            exact=exact,
+            materialize=materialize,
+            cell_ids=cell_ids,
+            num_threads=num_threads,
+        )
+
+    def containing_polygons(self, lat: float, lng: float, exact: bool = True) -> list[int]:
+        result = self.join(
+            np.asarray([lat]), np.asarray([lng]), exact=exact, materialize=True
+        )
+        assert result.pair_polygons is not None
+        return sorted(int(p) for p in result.pair_polygons)
+
+    def max_cell_level(self) -> int:
+        return self._view.max_cell_level
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    @property
+    def base(self) -> PolygonIndex:
+        """The current immutable base snapshot."""
+        return self._base
+
+    @property
+    def polygons(self) -> tuple[Polygon | None, ...]:
+        """Id-indexable polygon sequence (``None`` marks deleted ids)."""
+        return self._view.polygons
+
+    @property
+    def store(self) -> object:
+        return self._view.store
+
+    @property
+    def lookup_table(self) -> LookupTable:
+        return self._view.lookup_table
+
+    @property
+    def pending_ops(self) -> tuple[DeltaOp, ...]:
+        """The delta log: operations not yet folded into the base."""
+        with self._lock:
+            return tuple(self._pending)
+
+    @property
+    def delta_size(self) -> int:
+        """Number of pending delta operations (inserts + deletes)."""
+        return len(self._pending)
+
+    @property
+    def compactions(self) -> int:
+        """How many compactions have been installed."""
+        return self._compactions
+
+    @property
+    def live_polygon_ids(self) -> list[int]:
+        with self._lock:
+            return [
+                pid
+                for pid, polygon in enumerate(self._polygons)
+                if polygon is not None and pid not in self._tombstones
+            ]
+
+    @property
+    def num_polygons(self) -> int:
+        """Live polygon count (holes and tombstones excluded)."""
+        return len(self.live_polygon_ids)
+
+    @property
+    def num_cells(self) -> int:
+        return self._base.num_cells + self._delta_covering.num_cells
+
+    @property
+    def size_bytes(self) -> int:
+        size = getattr(self._view.store, "size_bytes", None)
+        return int(size) if size is not None else 0
+
+    @property
+    def timings(self) -> BuildTimings:
+        return self._base.timings
+
+    def describe(self) -> dict[str, object]:
+        with self._lock:
+            return {
+                "num_polygons": self.num_polygons,
+                "version": self._version,
+                "base_version": self._base.version,
+                "delta_size": len(self._pending),
+                "delta_inserts": len(self._delta_ids),
+                "tombstones": len(self._tombstones),
+                "compactions": self._compactions,
+                "compact_threshold": self._compact_threshold,
+                "num_cells": self.num_cells,
+            }

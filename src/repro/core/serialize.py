@@ -1,4 +1,4 @@
-"""Persist and restore a built :class:`~repro.core.builder.PolygonIndex`.
+"""Persist and restore built indexes (static and dynamic).
 
 The paper's setting is a mostly static polygon set probed by a stream of
 points; rebuilding the index on every process start wastes exactly the
@@ -7,24 +7,51 @@ serialize everything needed to probe — the super covering (cells +
 references), the polygons (WKT), and the build configuration — into a
 single ``.npz`` file; loading re-runs only the cheap, vectorized trie
 construction.
+
+Format history:
+
+* **v1** — super covering + polygons + build configuration.
+* **v2** — adds lifecycle state: the snapshot ``version`` and, for a
+  :class:`~repro.core.dynamic.DynamicPolygonIndex`, the pending delta log
+  (inserts as WKT, deletes as tombstoned ids) replayed on load.  v1 files
+  still load (they simply carry no lifecycle state).
+
+Writers always emit the current ``FORMAT_VERSION``; readers accept every
+version up to it.
 """
 
 from __future__ import annotations
 
 import json
 import pathlib
+from dataclasses import asdict
 
 import numpy as np
 
+from repro.cells.coverer import CovererOptions
+
+from repro.core.builder import (
+    DEFAULT_COVERING_OPTIONS,
+    DEFAULT_INTERIOR_OPTIONS,
+    BuildTimings,
+    PolygonIndex,
+    build_store,
+    ensure_version_floor,
+)
 from repro.core.act import AdaptiveCellTrie
-from repro.core.builder import BuildTimings, PolygonIndex
-from repro.core.lookup_table import LookupTable
+from repro.core.dynamic import DeltaOp, DynamicPolygonIndex
 from repro.core.refs import PolygonRef
 from repro.core.super_covering import SuperCovering
 from repro.geo.wkt import polygon_from_wkt, polygon_to_wkt
 from repro.util.timing import Timer
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: WKT slot marking a deleted polygon id (a hole in the id space).
+_HOLE = ""
+
+_OP_INSERT = 0
+_OP_DELETE = 1
 
 
 def _pack_covering(covering: SuperCovering) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -54,8 +81,59 @@ def _unpack_covering(
     return covering
 
 
-def save_index(index: PolygonIndex, path: str | pathlib.Path) -> None:
-    """Serialize ``index`` to ``path`` (a ``.npz`` archive)."""
+def _coverer_options(fields: dict | None) -> CovererOptions:
+    return CovererOptions(**fields) if fields else DEFAULT_COVERING_OPTIONS
+
+
+def _interior_options(fields: dict | None) -> CovererOptions:
+    return CovererOptions(**fields) if fields else DEFAULT_INTERIOR_OPTIONS
+
+
+def _pack_delta_log(ops: tuple[DeltaOp, ...]) -> dict[str, np.ndarray]:
+    kinds = np.asarray(
+        [_OP_INSERT if op.kind == "insert" else _OP_DELETE for op in ops],
+        dtype=np.int8,
+    )
+    pids = np.asarray([op.polygon_id for op in ops], dtype=np.int64)
+    wkts = np.asarray(
+        [polygon_to_wkt(op.polygon) if op.polygon is not None else _HOLE for op in ops],
+        dtype=object,
+    )
+    return {"delta_kinds": kinds, "delta_pids": pids, "delta_polygons": wkts}
+
+
+def save_index(
+    index: PolygonIndex | DynamicPolygonIndex, path: str | pathlib.Path
+) -> None:
+    """Serialize ``index`` to ``path`` (a ``.npz`` archive).
+
+    A :class:`DynamicPolygonIndex` is saved as its immutable base snapshot
+    plus the pending delta log; loading replays the log, restoring the
+    exact live polygon set, tombstones, and id assignment.
+    """
+    delta: dict[str, np.ndarray] = {}
+    dynamic_meta: dict[str, object] = {}
+    if isinstance(index, DynamicPolygonIndex):
+        state = index.export_state()
+        if state.store_factory is not None:
+            raise NotImplementedError(
+                "serialization is wired up for the ACT store "
+                "(a custom store_factory cannot be persisted)"
+            )
+        delta = _pack_delta_log(state.pending)
+        if state.training_cell_ids is not None:
+            delta["training_cell_ids"] = np.asarray(
+                state.training_cell_ids, dtype=np.uint64
+            )
+        dynamic_meta = {
+            "dynamic": True,
+            "compact_threshold": state.compact_threshold,
+            "background": state.background,
+            "covering_options": asdict(state.covering_options),
+            "interior_options": asdict(state.interior_options),
+            "training_max_cells": state.training_max_cells,
+        }
+        index = state.base
     if not isinstance(index.store, AdaptiveCellTrie):
         raise NotImplementedError("serialization is wired up for the ACT store")
     cell_ids, offsets, packed = _pack_covering(index.super_covering)
@@ -64,6 +142,8 @@ def save_index(index: PolygonIndex, path: str | pathlib.Path) -> None:
         "fanout_bits": index.store.fanout_bits,
         "precision_meters": index.precision_meters,
         "num_polygons": len(index.polygons),
+        "version": index.version,
+        **dynamic_meta,
     }
     np.savez_compressed(
         path,
@@ -72,30 +152,63 @@ def save_index(index: PolygonIndex, path: str | pathlib.Path) -> None:
         ref_offsets=offsets,
         packed_refs=packed,
         polygons=np.asarray(
-            [polygon_to_wkt(polygon) for polygon in index.polygons], dtype=object
+            [
+                polygon_to_wkt(polygon) if polygon is not None else _HOLE
+                for polygon in index.polygons
+            ],
+            dtype=object,
         ),
+        **delta,
     )
 
 
-def load_index(path: str | pathlib.Path) -> PolygonIndex:
-    """Restore an index saved by :func:`save_index` (rebuilds only the trie)."""
+def load_index(path: str | pathlib.Path) -> PolygonIndex | DynamicPolygonIndex:
+    """Restore an index saved by :func:`save_index`.
+
+    Accepts every format version up to :data:`FORMAT_VERSION`; a file that
+    carries a pending delta log comes back as a
+    :class:`DynamicPolygonIndex` with the log replayed, anything else as a
+    plain :class:`PolygonIndex`.
+    """
     with np.load(path, allow_pickle=True) as archive:
         meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
-        if meta["format_version"] != FORMAT_VERSION:
+        if not 1 <= meta["format_version"] <= FORMAT_VERSION:
             raise ValueError(
                 f"unsupported index file version {meta['format_version']}"
             )
         covering = _unpack_covering(
             archive["cell_ids"], archive["ref_offsets"], archive["packed_refs"]
         )
-        polygons = [polygon_from_wkt(text) for text in archive["polygons"]]
-    lookup_table = LookupTable()
-    with Timer() as timer:
-        store = AdaptiveCellTrie(
-            covering, fanout_bits=meta["fanout_bits"], lookup_table=lookup_table
+        polygons = [
+            polygon_from_wkt(text) if text != _HOLE else None
+            for text in archive["polygons"]
+        ]
+        training_cell_ids = (
+            archive["training_cell_ids"]
+            if "training_cell_ids" in archive.files
+            else None
         )
+        ops: list[DeltaOp] = []
+        if "delta_kinds" in archive.files:
+            for kind, pid, wkt in zip(
+                archive["delta_kinds"], archive["delta_pids"], archive["delta_polygons"]
+            ):
+                if int(kind) == _OP_INSERT:
+                    ops.append(DeltaOp("insert", int(pid), polygon_from_wkt(wkt)))
+                else:
+                    ops.append(DeltaOp("delete", int(pid), None))
+    saved_version = meta.get("version")
+    if saved_version is not None:
+        # Versions are process-local, so the file's stamp is provenance,
+        # not an ordering: raise the local floor above it, then restamp.
+        # The loaded snapshot thereby outranks both the file and anything
+        # built locally so far — a load-then-swap into a live service
+        # always passes the router's newer-version check.
+        ensure_version_floor(int(saved_version))
+    with Timer() as timer:
+        store, lookup_table = build_store(covering, fanout_bits=meta["fanout_bits"])
     timings = BuildTimings(store_build_seconds=timer.seconds)
-    return PolygonIndex(
+    base = PolygonIndex(
         polygons=polygons,
         super_covering=covering,
         store=store,
@@ -103,4 +216,16 @@ def load_index(path: str | pathlib.Path) -> PolygonIndex:
         timings=timings,
         precision_meters=meta["precision_meters"],
         training_report=None,
+    )
+    if not meta.get("dynamic", False):
+        return base
+    return DynamicPolygonIndex.restore(
+        base,
+        ops,
+        compact_threshold=meta.get("compact_threshold"),
+        background=bool(meta.get("background", False)),
+        covering_options=_coverer_options(meta.get("covering_options")),
+        interior_options=_interior_options(meta.get("interior_options")),
+        training_cell_ids=training_cell_ids,
+        training_max_cells=meta.get("training_max_cells"),
     )

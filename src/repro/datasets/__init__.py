@@ -26,8 +26,11 @@ from repro.datasets.workloads import (
     CITY_BOXES,
     NYC_BOX,
     POLYGON_DATASETS,
+    ChurnOp,
+    ChurnWorkload,
     PolygonDatasetSpec,
     TWITTER_CITIES,
+    polygon_churn_workload,
     polygon_dataset,
     taxi_points,
     twitter_points,
@@ -46,6 +49,9 @@ __all__ = [
     "POLYGON_DATASETS",
     "TWITTER_CITIES",
     "PolygonDatasetSpec",
+    "ChurnOp",
+    "ChurnWorkload",
+    "polygon_churn_workload",
     "polygon_dataset",
     "taxi_points",
     "twitter_points",

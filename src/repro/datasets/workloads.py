@@ -150,6 +150,97 @@ def uniform_points_for(
     return uniform_points(bounds, num_points, seed=seed)
 
 
+@dataclass(frozen=True)
+class ChurnOp:
+    """One online polygon mutation in a churn stream."""
+
+    kind: str  # "insert" | "delete"
+    polygon: Polygon | None  # payload for inserts
+    polygon_id: int  # target for deletes (the id the index will know)
+
+
+@dataclass(frozen=True)
+class ChurnWorkload:
+    """A polygon-churn scenario: initial set, mutation stream, probe points.
+
+    Ids follow the dynamic-index convention: the initial polygons get ids
+    ``0..len(initial)-1`` and every insert gets the next id in arrival
+    order, so ``ChurnOp.polygon_id`` matches what
+    ``DynamicPolygonIndex.insert`` will assign when ops are applied in
+    order.
+    """
+
+    initial: tuple[Polygon, ...]
+    ops: tuple[ChurnOp, ...]
+    probe_lats: np.ndarray
+    probe_lngs: np.ndarray
+
+    @property
+    def num_inserts(self) -> int:
+        return sum(1 for op in self.ops if op.kind == "insert")
+
+    @property
+    def num_deletes(self) -> int:
+        return sum(1 for op in self.ops if op.kind == "delete")
+
+
+def polygon_churn_workload(
+    num_initial: int = 200,
+    num_ops: int = 200,
+    num_probe_points: int = 100_000,
+    insert_fraction: float = 0.5,
+    bounds: Rect = NYC_BOX,
+    avg_vertices: float = 30,
+    roughness: float = 0.10,
+    seed: int = 1234,
+) -> ChurnWorkload:
+    """Generate an online geofence-churn scenario.
+
+    A Voronoi partition of ``bounds`` supplies ``num_initial`` starting
+    polygons plus a reserve pool the insert stream draws from; each op is
+    an insert with probability ``insert_fraction``, else a delete of a
+    uniformly random live polygon (never deleting the last one).  Probe
+    points are hotspot-clustered like the taxi stream.  Fully
+    deterministic in ``seed``.
+    """
+    if num_initial < 1:
+        raise ValueError("num_initial must be >= 1")
+    rng = np.random.default_rng(seed)
+    max_inserts = num_ops  # worst case: every op is an insert
+    cells = voronoi_partition(bounds, num_initial + max_inserts, seed=seed)
+    polygons = densify_polygons(cells, avg_vertices, roughness, seed=seed + 1)
+    initial = tuple(polygons[:num_initial])
+    reserve = list(polygons[num_initial:])
+
+    live: list[int] = list(range(num_initial))
+    next_id = num_initial
+    ops: list[ChurnOp] = []
+    for _ in range(num_ops):
+        insert = rng.random() < insert_fraction or len(live) <= 1
+        if insert and reserve:
+            ops.append(ChurnOp("insert", reserve.pop(0), next_id))
+            live.append(next_id)
+            next_id += 1
+        else:
+            victim = live.pop(int(rng.integers(len(live))))
+            ops.append(ChurnOp("delete", None, victim))
+
+    probe_lats, probe_lngs = clustered_points(
+        bounds,
+        num_probe_points,
+        seed=seed + 2,
+        num_hotspots=4,
+        hotspot_fraction=0.92,
+        spread_fraction=0.035,
+    )
+    return ChurnWorkload(
+        initial=initial,
+        ops=tuple(ops),
+        probe_lats=probe_lats,
+        probe_lngs=probe_lngs,
+    )
+
+
 def venue_points(
     num_requests: int,
     bounds: Rect = NYC_BOX,

@@ -26,17 +26,19 @@ Quickstart::
 from repro.serve.batching import LookupRequest, MicroBatcher
 from repro.serve.cache import CachedCellStore, CacheStats, HotCellCache
 from repro.serve.executor import MorselExecutor
-from repro.serve.router import LayerRouter
+from repro.serve.router import JoinableIndex, LayerRouter
 from repro.serve.service import JoinService
-from repro.serve.stats import LatencyRecorder, ServiceStats
+from repro.serve.stats import LatencyRecorder, LayerStatus, ServiceStats
 
 __all__ = [
     "CachedCellStore",
     "CacheStats",
     "HotCellCache",
+    "JoinableIndex",
     "JoinService",
     "LatencyRecorder",
     "LayerRouter",
+    "LayerStatus",
     "LookupRequest",
     "MicroBatcher",
     "MorselExecutor",

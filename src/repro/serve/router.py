@@ -3,15 +3,55 @@
 A production location service rarely joins against a single polygon set —
 a ride request is matched against surge zones, airport geofences, and
 administrative boundaries at once.  :class:`LayerRouter` hosts multiple
-named :class:`~repro.core.builder.PolygonIndex` instances and resolves
+named indexes (anything satisfying :class:`JoinableIndex`) and resolves
 which layer(s) a request fans out to.  Because leaf cell ids depend only
 on the point coordinates, the service computes them once per batch and
 reuses them across every routed layer.
+
+:meth:`LayerRouter.swap` atomically replaces a layer's index with a new
+versioned snapshot: requests already dispatched keep the snapshot they
+resolved (it is immutable), while every later ``resolve`` sees the new
+one — the zero-downtime half of the index lifecycle.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+import threading
+from typing import Iterable, Mapping, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.core.builder import ProbeView
+from repro.geo.polygon import Polygon
+
+
+@runtime_checkable
+class JoinableIndex(Protocol):
+    """What the serving layer requires of a registered index.
+
+    Satisfied by :class:`~repro.core.builder.PolygonIndex` and
+    :class:`~repro.core.dynamic.DynamicPolygonIndex`; typing layer
+    registrations with this protocol lets static checkers reject
+    non-index objects at the call site.
+    """
+
+    version: int
+    polygons: Sequence[Polygon | None]
+    num_polygons: int  # live count: holes and tombstones excluded
+
+    def cell_ids_for(self, lats: np.ndarray, lngs: np.ndarray) -> np.ndarray: ...
+
+    def probe_view(self) -> ProbeView: ...
+
+
+def _validate_index(name: str, index: JoinableIndex) -> JoinableIndex:
+    if not isinstance(index, JoinableIndex):
+        raise TypeError(
+            f"layer {name!r}: {type(index).__name__} does not satisfy "
+            "JoinableIndex (needs version, polygons, num_polygons, "
+            "cell_ids_for, probe_view)"
+        )
+    return index
 
 
 class LayerRouter:
@@ -24,22 +64,51 @@ class LayerRouter:
 
     def __init__(
         self,
-        layers: Mapping[str, object] | None = None,
+        layers: Mapping[str, JoinableIndex] | None = None,
         default: str | None = None,
     ):
-        self._layers: dict[str, object] = {}
+        self._lock = threading.Lock()
+        self._layers: dict[str, JoinableIndex] = {}
         for name, index in (layers or {}).items():
             self.add(name, index)
         if default is not None and default not in self._layers:
             raise KeyError(f"default layer {default!r} is not registered")
         self._default = default
 
-    def add(self, name: str, index: object) -> None:
+    def add(self, name: str, index: JoinableIndex) -> None:
         if not name:
             raise ValueError("layer name must be non-empty")
-        if name in self._layers:
-            raise ValueError(f"layer {name!r} is already registered")
-        self._layers[name] = index
+        _validate_index(name, index)
+        with self._lock:
+            if name in self._layers:
+                raise ValueError(f"layer {name!r} is already registered")
+            self._layers[name] = index
+
+    def swap(self, name: str, index: JoinableIndex) -> JoinableIndex:
+        """Atomically replace a registered layer's index; returns the old.
+
+        In-flight requests that already resolved the layer keep the
+        snapshot they hold; every resolve after this call returns the new
+        index.  The replacement must be newer (a strictly greater
+        ``version``) so a late or duplicated swap can never roll a layer
+        back to a stale snapshot.
+        """
+        _validate_index(name, index)
+        with self._lock:
+            try:
+                previous = self._layers[name]
+            except KeyError:
+                raise KeyError(
+                    f"cannot swap unknown layer {name!r}; "
+                    f"registered layers: {list(self._layers)}"
+                ) from None
+            if index.version <= previous.version:
+                raise ValueError(
+                    f"refusing to swap layer {name!r} to version "
+                    f"{index.version} (currently {previous.version})"
+                )
+            self._layers[name] = index
+            return previous
 
     @property
     def names(self) -> tuple[str, ...]:
@@ -59,7 +128,7 @@ class LayerRouter:
     def __contains__(self, name: str) -> bool:
         return name in self._layers
 
-    def resolve(self, name: str | None = None) -> tuple[str, object]:
+    def resolve(self, name: str | None = None) -> tuple[str, JoinableIndex]:
         """The ``(name, index)`` a single-layer request routes to."""
         if name is None:
             name = self.default
@@ -77,11 +146,12 @@ class LayerRouter:
 
     def select(
         self, names: Sequence[str] | None = None
-    ) -> list[tuple[str, object]]:
+    ) -> list[tuple[str, JoinableIndex]]:
         """The layers a fan-out request routes to (``None`` = all layers)."""
         if names is None:
             return list(self._layers.items())
         return [self.resolve(name) for name in names]
 
-    def items(self) -> Iterable[tuple[str, object]]:
-        return self._layers.items()
+    def items(self) -> Iterable[tuple[str, JoinableIndex]]:
+        """A point-in-time snapshot, safe to iterate during add/swap."""
+        return list(self._layers.items())

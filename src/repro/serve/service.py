@@ -13,10 +13,13 @@ hot path.  It accepts three shapes of work:
 * ``join_layers`` — a batch fanned out to several named polygon layers,
   computing the leaf cell ids once and reusing them per layer.
 
-Every probe goes through a per-layer
-:class:`~repro.serve.cache.HotCellCache`, so results are bit-identical to
-calling ``PolygonIndex.join`` directly while skewed workloads
-short-circuit most trie descents.
+Every dispatch reads its layer through one immutable
+:class:`~repro.core.builder.ProbeView` (store, lookup table, polygons and
+version captured together), and every probe goes through a hot-cell cache
+keyed by ``(layer, version)`` — so results are bit-identical to calling
+``PolygonIndex.join`` directly, skewed workloads short-circuit most trie
+descents, and a snapshot swap (:meth:`JoinService.swap_layer`) can never
+serve an entry cached for a previous version.
 """
 
 from __future__ import annotations
@@ -27,7 +30,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from repro.core.builder import PolygonIndex
+from repro.core.builder import ProbeView
 from repro.core.joins import JoinResult, accurate_join, approximate_join
 from repro.serve.batching import LookupRequest, MicroBatcher
 from repro.serve.cache import (
@@ -37,8 +40,8 @@ from repro.serve.cache import (
     key_shift_for_level,
 )
 from repro.serve.executor import MorselExecutor
-from repro.serve.router import LayerRouter
-from repro.serve.stats import LatencyRecorder, ServiceStats
+from repro.serve.router import JoinableIndex, LayerRouter
+from repro.serve.stats import LatencyRecorder, LayerStatus, ServiceStats
 from repro.util.timing import Timer
 
 #: The default single-layer name used when a bare index is served.
@@ -51,10 +54,12 @@ class JoinService:
     Parameters
     ----------
     layers:
-        Either a single :class:`PolygonIndex` (served as layer
-        ``"default"``) or a mapping of layer name to index.
+        Either a single index (served as layer ``"default"``) or a mapping
+        of layer name to index.  Any :class:`JoinableIndex` works — plain
+        :class:`PolygonIndex` snapshots and
+        :class:`~repro.core.dynamic.DynamicPolygonIndex` instances alike.
     cache_cells:
-        Per-layer hot-cell LRU capacity in distinct leaf cells
+        Per-layer-version hot-cell LRU capacity in distinct leaf cells
         (0 disables caching).
     max_batch / max_wait_ms:
         Micro-batching knobs: flush when ``max_batch`` lookups are
@@ -66,7 +71,7 @@ class JoinService:
 
     def __init__(
         self,
-        layers: PolygonIndex | Mapping[str, PolygonIndex],
+        layers: JoinableIndex | Mapping[str, JoinableIndex],
         *,
         default_layer: str | None = None,
         cache_cells: int = 4096,
@@ -76,15 +81,19 @@ class JoinService:
         morsel_size: int = 1 << 14,
         latency_window: int = 8192,
     ):
-        if isinstance(layers, PolygonIndex):
+        if not isinstance(layers, Mapping):
             layers = {DEFAULT_LAYER: layers}
         self._router = LayerRouter(layers, default=default_layer)
         self._cache_cells = cache_cells
         self._attach_lock = threading.Lock()
-        self._caches: dict[str, HotCellCache] = {}
-        self._stores: dict[str, CachedCellStore] = {}
+        # Caches and cached stores are keyed by (layer, version): a swap or
+        # a dynamic-index mutation bumps the version, so stale entries are
+        # unreachable by construction rather than by invalidation.
+        self._caches: dict[tuple[str, int], HotCellCache] = {}
+        self._stores: dict[tuple[str, int], CachedCellStore] = {}
+        self._latest_version: dict[str, int] = {}
         for name, index in self._router.items():
-            self._attach_cache(name, index)
+            self._attach_view(name, index.probe_view())
         self._recorder = LatencyRecorder(window=latency_window)
         self._executor = (
             MorselExecutor(num_threads, morsel_size) if num_threads > 1 else None
@@ -94,34 +103,65 @@ class JoinService:
         )
         self._closed = False
 
-    def _attach_cache(self, name: str, index: PolygonIndex) -> None:
+    def _attach_view(self, name: str, view: ProbeView) -> CachedCellStore:
+        """Build the (layer, version) cache pair for one probe view."""
+        key = (name, view.version)
         cache = HotCellCache(self._cache_cells)
-        self._caches[name] = cache
-        # Key the cache on the ancestor at the layer's deepest indexed
-        # level — leaf ids sharing it are guaranteed identical probes.
-        histogram = index.super_covering.level_histogram()
-        max_level = max(histogram) if histogram else 0
-        self._stores[name] = CachedCellStore(
-            index.store, cache, key_shift=key_shift_for_level(max_level)
+        store = CachedCellStore(
+            view.store,
+            cache,
+            key_shift=key_shift_for_level(view.max_cell_level),
         )
+        self._caches[key] = cache
+        self._stores[key] = store
+        # Retire every generation older than the newest ever attached for
+        # this layer — including a pre-swap view a laggard dispatch just
+        # re-attached (it keeps working through its own references; only
+        # the registry forgets it).  New requests can never reach retired
+        # generations again, and exactly one generation per layer remains.
+        latest = max(self._latest_version.get(name, 0), view.version)
+        self._latest_version[name] = latest
+        for stale in [k for k in self._stores if k[0] == name and k[1] < latest]:
+            self._stores.pop(stale, None)
+            self._caches.pop(stale, None)
+        return store
 
     # ------------------------------------------------------------------
     # Layer management
     # ------------------------------------------------------------------
 
-    def add_layer(self, name: str, index: PolygonIndex) -> None:
+    def add_layer(self, name: str, index: JoinableIndex) -> None:
         """Register an additional polygon layer on the live service."""
         with self._attach_lock:
             self._router.add(name, index)
-            self._attach_cache(name, index)
+            self._attach_view(name, index.probe_view())
+
+    def swap_layer(self, name: str, index: JoinableIndex) -> JoinableIndex:
+        """Atomically replace a layer with a newer versioned snapshot.
+
+        Requests in flight keep the snapshot (and cache generation) they
+        already resolved; every request arriving after this call sees the
+        new version.  Returns the replaced index.
+        """
+        with self._attach_lock:
+            previous = self._router.swap(name, index)
+            self._attach_view(name, index.probe_view())
+            return previous
 
     @property
     def layers(self) -> tuple[str, ...]:
         return self._router.names
 
     def cache(self, layer: str | None = None) -> HotCellCache:
-        name, _ = self._router.resolve(layer)
-        return self._caches[name]
+        """The cache generation of one layer's current probe view.
+
+        Attached on demand (a mutation may have outdated the registry);
+        read off the cached store itself, so a concurrent newer attach
+        retiring the registry entry mid-call cannot turn this into an
+        error.
+        """
+        name, index = self._router.resolve(layer)
+        return self._store_for(name, index.probe_view()).cache
 
     # ------------------------------------------------------------------
     # Single-point path (micro-batched)
@@ -150,21 +190,16 @@ class JoinService:
             LookupRequest(lat=float(lat), lng=float(lng), layer=name, exact=exact)
         )
 
-    def _store_for(self, name: str, index: PolygonIndex) -> CachedCellStore:
-        """The layer's cached store, re-attached if the index was rebuilt.
-
-        ``PolygonIndex.add_polygon`` replaces both the store and the
-        lookup table; probing the old store against the new table would
-        decode garbage, so a store swap invalidates the cache wholesale.
-        """
-        cached = self._stores[name]
-        if cached.store is not index.store:
+    def _store_for(self, name: str, view: ProbeView) -> CachedCellStore:
+        """The layer's cached store for one probe view (attach on demand)."""
+        key = (name, view.version)
+        store = self._stores.get(key)
+        if store is None:
             with self._attach_lock:
-                cached = self._stores[name]
-                if cached.store is not index.store:
-                    self._attach_cache(name, index)
-                    cached = self._stores[name]
-        return cached
+                store = self._stores.get(key)
+                if store is None:
+                    store = self._attach_view(name, view)
+        return store
 
     def lookup(
         self,
@@ -286,28 +321,35 @@ class JoinService:
     def _dispatch(
         self,
         name: str,
-        index: PolygonIndex,
+        index: JoinableIndex,
         cell_ids: np.ndarray,
         lats: np.ndarray,
         lngs: np.ndarray,
         exact: bool,
         materialize: bool,
     ) -> JoinResult:
+        # One atomic snapshot for the whole dispatch: store, lookup table,
+        # polygons and version always belong to the same index generation,
+        # even if the layer is swapped or mutated mid-request.  The cached
+        # store is resolved once here so morsel workers share it instead
+        # of hitting the registry (and its lock) per chunk.
+        view = index.probe_view()
+        store = self._store_for(name, view)
         if (
             self._executor is not None
             and len(cell_ids) > self._executor.morsel_size
         ):
             return self._dispatch_morsels(
-                name, index, cell_ids, lats, lngs, exact, materialize
+                store, view, cell_ids, lats, lngs, exact, materialize
             )
         return self._join_chunk(
-            name, index, cell_ids, lats, lngs, exact, materialize
+            store, view, cell_ids, lats, lngs, exact, materialize
         )
 
     def _join_chunk(
         self,
-        name: str,
-        index: PolygonIndex,
+        store: CachedCellStore,
+        view: ProbeView,
         cell_ids: np.ndarray,
         lats: np.ndarray,
         lngs: np.ndarray,
@@ -315,36 +357,28 @@ class JoinService:
         materialize: bool,
     ) -> JoinResult:
         """One vectorized join through the layer's cached store."""
-        store = self._store_for(name, index)
-        # Read the table through the store (attribute passthrough): the
-        # pair travels together, so even if add_polygon swaps both fields
-        # on the index mid-request we never mix an old store with a new
-        # table — worst case one batch is served from the pre-update pair.
-        lookup_table = getattr(store, "lookup_table", None)
-        if lookup_table is None:
-            lookup_table = index.lookup_table
         if exact:
             return accurate_join(
                 store,
-                lookup_table,
+                view.lookup_table,
                 cell_ids,
-                index.polygons,
+                view.polygons,
                 lngs,
                 lats,
                 materialize=materialize,
             )
         return approximate_join(
             store,
-            lookup_table,
+            view.lookup_table,
             cell_ids,
-            len(index.polygons),
+            len(view.polygons),
             materialize=materialize,
         )
 
     def _dispatch_morsels(
         self,
-        name: str,
-        index: PolygonIndex,
+        store: CachedCellStore,
+        view: ProbeView,
         cell_ids: np.ndarray,
         lats: np.ndarray,
         lngs: np.ndarray,
@@ -354,8 +388,8 @@ class JoinService:
         """Split a large batch into morsels and merge the partial results."""
         def work(lo: int, hi: int) -> JoinResult:
             part = self._join_chunk(
-                name,
-                index,
+                store,
+                view,
                 cell_ids[lo:hi],
                 lats[lo:hi],
                 lngs[lo:hi],
@@ -401,13 +435,21 @@ class JoinService:
     # ------------------------------------------------------------------
 
     def stats(self) -> ServiceStats:
-        """Immutable snapshot: latency percentiles, throughput, cache."""
-        with self._attach_lock:  # add_layer may be mutating the dict
+        """Immutable snapshot: latency percentiles, throughput, cache,
+        plus each layer's live version and pending delta size."""
+        with self._attach_lock:  # add/swap may be mutating the dicts
             caches = dict(self._caches)
         cache_stats: dict[str, CacheStats] = {
-            name: cache.stats() for name, cache in caches.items()
+            name: cache.stats() for (name, _version), cache in caches.items()
         }
-        return self._recorder.snapshot(cache_stats)
+        layer_status: dict[str, LayerStatus] = {}
+        for name, index in self._router.items():
+            layer_status[name] = LayerStatus(
+                version=index.probe_view().version,
+                delta_size=int(getattr(index, "delta_size", 0)),
+                num_polygons=index.num_polygons,
+            )
+        return self._recorder.snapshot(cache_stats, layer_status)
 
     def _check_open(self) -> None:
         if self._closed:

@@ -20,6 +20,15 @@ from repro.serve.cache import CacheStats
 
 
 @dataclass(frozen=True)
+class LayerStatus:
+    """Lifecycle state of one served layer at snapshot time."""
+
+    version: int  # live snapshot version requests resolve to
+    delta_size: int  # pending delta ops (0 for immutable indexes)
+    num_polygons: int  # live polygons (holes excluded)
+
+
+@dataclass(frozen=True)
 class ServiceStats:
     """One immutable snapshot of a running :class:`JoinService`."""
 
@@ -33,6 +42,7 @@ class ServiceStats:
     p99_ms: float
     throughput_pps: float  # points per busy second, lifetime
     cache: dict[str, CacheStats] = field(default_factory=dict)
+    layers: dict[str, LayerStatus] = field(default_factory=dict)
 
     @property
     def mean_batch_size(self) -> float:
@@ -75,7 +85,9 @@ class LatencyRecorder:
             self._busy_seconds += seconds
 
     def snapshot(
-        self, cache: dict[str, CacheStats] | None = None
+        self,
+        cache: dict[str, CacheStats] | None = None,
+        layers: dict[str, LayerStatus] | None = None,
     ) -> ServiceStats:
         with self._lock:
             samples = np.asarray(self._samples, dtype=np.float64)
@@ -102,4 +114,5 @@ class LatencyRecorder:
             p99_ms=p99_ms,
             throughput_pps=throughput,
             cache=dict(cache or {}),
+            layers=dict(layers or {}),
         )

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.cells import CellId, LatLng, cell_difference
+from repro.cells import CellId, cell_difference
 
 lat_values = st.floats(min_value=-89.0, max_value=89.0, allow_nan=False)
 lng_values = st.floats(min_value=-179.9, max_value=179.9, allow_nan=False)

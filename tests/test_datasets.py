@@ -169,3 +169,54 @@ class TestTwitterWorkloads:
         a = twitter_points("SF", 1000)
         b = twitter_points("SF", 1000)
         assert (a[0] == b[0]).all()
+
+
+class TestChurnWorkload:
+    def test_deterministic(self):
+        from repro.datasets import polygon_churn_workload
+
+        a = polygon_churn_workload(num_initial=10, num_ops=20, num_probe_points=100)
+        b = polygon_churn_workload(num_initial=10, num_ops=20, num_probe_points=100)
+        assert [op.kind for op in a.ops] == [op.kind for op in b.ops]
+        assert [op.polygon_id for op in a.ops] == [op.polygon_id for op in b.ops]
+        assert np.array_equal(a.probe_lats, b.probe_lats)
+
+    def test_id_convention_matches_dynamic_index(self):
+        from repro.datasets import polygon_churn_workload
+
+        workload = polygon_churn_workload(
+            num_initial=8, num_ops=30, num_probe_points=10, seed=3
+        )
+        live = set(range(len(workload.initial)))
+        next_id = len(workload.initial)
+        for op in workload.ops:
+            if op.kind == "insert":
+                assert op.polygon is not None
+                assert op.polygon_id == next_id
+                live.add(next_id)
+                next_id += 1
+            else:
+                assert op.polygon is None
+                assert op.polygon_id in live  # deletes always target live ids
+                live.remove(op.polygon_id)
+            assert live  # never deletes the last polygon
+        assert workload.num_inserts + workload.num_deletes == 30
+
+    def test_applies_cleanly_to_dynamic_index(self):
+        from repro.core import DynamicPolygonIndex, PolygonIndex
+        from repro.datasets import polygon_churn_workload
+
+        workload = polygon_churn_workload(
+            num_initial=6, num_ops=10, num_probe_points=500, seed=9,
+            avg_vertices=12,
+        )
+        dyn = DynamicPolygonIndex.build(list(workload.initial), compact_threshold=None)
+        for op in workload.ops:
+            if op.kind == "insert":
+                assert dyn.insert(op.polygon) == op.polygon_id
+            else:
+                dyn.delete(op.polygon_id)
+        fresh = PolygonIndex.build([dyn.polygons[pid] for pid in dyn.live_polygon_ids])
+        got = dyn.join(workload.probe_lats, workload.probe_lngs, exact=True)
+        want = fresh.join(workload.probe_lats, workload.probe_lngs, exact=True)
+        assert (got.counts[dyn.live_polygon_ids] == want.counts).all()

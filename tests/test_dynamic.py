@@ -1,0 +1,311 @@
+"""Tests for the dynamic index lifecycle (repro.core.dynamic).
+
+The load-bearing guarantee: after ANY sequence of online inserts and
+deletes, join results are identical to a fresh ``PolygonIndex.build`` over
+the current live polygon set (modulo the stable-id ↔ dense-id mapping) —
+before and after compaction.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DynamicPolygonIndex, PolygonIndex
+from repro.core.dynamic import OverlayCellStore
+from repro.geo.polygon import regular_polygon
+
+#: Candidate polygons inserts draw from (deterministic, overlapping mix).
+POOL = [
+    regular_polygon((-74.00, 40.70), 0.006, 14),
+    regular_polygon((-73.98, 40.70), 0.006, 9),
+    regular_polygon((-74.00, 40.72), 0.006, 21),
+    regular_polygon((-73.985, 40.715), 0.009, 6),
+    regular_polygon((-73.995, 40.705), 0.004, 8),
+    regular_polygon((-73.99, 40.71), 0.012, 10),
+]
+
+
+def _probe_points(n=2500, seed=5):
+    rng = np.random.default_rng(seed)
+    lngs = rng.uniform(-74.015, -73.965, n)
+    lats = rng.uniform(40.69, 40.735, n)
+    return lats, lngs
+
+
+LATS, LNGS = _probe_points()
+
+
+def _assert_matches_fresh_build(dyn: DynamicPolygonIndex, *, exact: bool, **build_kwargs):
+    """Dynamic join results == fresh build over the live set (id-mapped)."""
+    live = dyn.live_polygon_ids
+    fresh = PolygonIndex.build([dyn.polygons[pid] for pid in live], **build_kwargs)
+    got = dyn.join(LATS, LNGS, exact=exact, materialize=True)
+    want = fresh.join(LATS, LNGS, exact=exact, materialize=True)
+    # Counts: live slots match under the id mapping, all other slots are 0.
+    np.testing.assert_array_equal(got.counts[live], want.counts)
+    dead = np.setdiff1d(np.arange(len(got.counts)), live)
+    assert not got.counts[dead].any()
+    # Pairs: identical after mapping fresh dense ids back to stable ids.
+    mapping = np.asarray(live, dtype=np.int64)
+    got_pairs = set(zip(got.pair_points.tolist(), got.pair_polygons.tolist()))
+    want_pairs = set(
+        zip(want.pair_points.tolist(), mapping[want.pair_polygons].tolist())
+    )
+    assert got_pairs == want_pairs
+
+
+def _apply_ops(dyn: DynamicPolygonIndex, ops):
+    """Interpret (kind, value) ops against the pool / current live set."""
+    for kind, value in ops:
+        if kind == "insert":
+            dyn.insert(POOL[value % len(POOL)])
+        else:
+            live = dyn.live_polygon_ids
+            if len(live) > 1:
+                dyn.delete(live[value % len(live)])
+
+
+ops_strategy = st.lists(
+    st.tuples(st.sampled_from(["insert", "delete"]), st.integers(0, 63)),
+    min_size=1,
+    max_size=6,
+)
+
+
+class TestEquivalenceProperty:
+    """The acceptance criterion, hypothesis-driven."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(ops=ops_strategy)
+    def test_exact_and_approximate_joins_match_fresh_build(self, ops):
+        dyn = DynamicPolygonIndex.build(POOL[:2], compact_threshold=None)
+        _apply_ops(dyn, ops)
+        # No precision refinement → even the approximate covering structure
+        # is point-equivalent between overlay and fresh build.
+        _assert_matches_fresh_build(dyn, exact=False)
+        _assert_matches_fresh_build(dyn, exact=True)
+        dyn.compact()
+        _assert_matches_fresh_build(dyn, exact=False)
+        _assert_matches_fresh_build(dyn, exact=True)
+
+    @settings(max_examples=8, deadline=None)
+    @given(ops=ops_strategy)
+    def test_exact_join_matches_with_precision_bound(self, ops):
+        # With refinement the covering shapes may differ (so approximate
+        # false positives can), but exact join results never do.
+        dyn = DynamicPolygonIndex.build(
+            POOL[:2], precision_meters=60.0, compact_threshold=None
+        )
+        _apply_ops(dyn, ops)
+        _assert_matches_fresh_build(dyn, exact=True, precision_meters=60.0)
+        dyn.compact()
+        _assert_matches_fresh_build(dyn, exact=True, precision_meters=60.0)
+
+
+class TestLifecycleBasics:
+    def test_insert_assigns_sequential_stable_ids(self):
+        dyn = DynamicPolygonIndex.build(POOL[:2], compact_threshold=None)
+        assert dyn.insert(POOL[2]) == 2
+        assert dyn.insert(POOL[3]) == 3
+        dyn.delete(2)
+        assert dyn.insert(POOL[4]) == 4  # deleted ids are never reused
+        assert dyn.live_polygon_ids == [0, 1, 3, 4]
+
+    def test_ids_stay_stable_across_compaction(self):
+        dyn = DynamicPolygonIndex.build(POOL[:3], compact_threshold=None)
+        dyn.delete(1)
+        dyn.compact()
+        assert dyn.live_polygon_ids == [0, 2]
+        assert dyn.polygons[1] is None  # a hole, not a renumbering
+        assert dyn.insert(POOL[4]) == 3
+
+    def test_version_strictly_increases(self):
+        dyn = DynamicPolygonIndex.build(POOL[:2], compact_threshold=None)
+        versions = [dyn.version]
+        dyn.insert(POOL[2])
+        versions.append(dyn.version)
+        dyn.delete(0)
+        versions.append(dyn.version)
+        dyn.compact()
+        versions.append(dyn.version)
+        assert versions == sorted(set(versions))
+
+    def test_delete_unknown_or_dead_id_raises(self):
+        dyn = DynamicPolygonIndex.build(POOL[:2], compact_threshold=None)
+        with pytest.raises(KeyError):
+            dyn.delete(7)
+        dyn.delete(1)
+        with pytest.raises(KeyError):
+            dyn.delete(1)
+
+    def test_delta_log_and_counters(self):
+        dyn = DynamicPolygonIndex.build(POOL[:2], compact_threshold=None)
+        assert dyn.delta_size == 0
+        dyn.insert(POOL[2])
+        dyn.delete(0)
+        assert dyn.delta_size == 2
+        kinds = [op.kind for op in dyn.pending_ops]
+        assert kinds == ["insert", "delete"]
+        dyn.compact()
+        assert dyn.delta_size == 0
+        assert dyn.compactions == 1
+
+    def test_fast_path_without_delta_uses_base_store(self):
+        dyn = DynamicPolygonIndex.build(POOL[:2], compact_threshold=None)
+        assert dyn.store is dyn.base.store
+        dyn.insert(POOL[2])
+        assert isinstance(dyn.store, OverlayCellStore)
+        dyn.compact()
+        assert dyn.store is dyn.base.store
+
+    def test_tombstoned_polygon_never_appears_in_pairs(self):
+        dyn = DynamicPolygonIndex.build(POOL[:3], compact_threshold=None)
+        dyn.delete(1)
+        result = dyn.join(LATS, LNGS, exact=True, materialize=True)
+        assert 1 not in set(result.pair_polygons.tolist())
+        assert result.counts[1] == 0
+
+    def test_parallel_join_matches_single_threaded(self):
+        dyn = DynamicPolygonIndex.build(POOL[:2], compact_threshold=None)
+        dyn.insert(POOL[2])
+        dyn.delete(0)
+        single = dyn.join(LATS, LNGS, exact=True)
+        parallel = dyn.join(LATS, LNGS, exact=True, num_threads=2)
+        np.testing.assert_array_equal(single.counts, parallel.counts)
+
+    def test_containing_polygons(self):
+        dyn = DynamicPolygonIndex.build(POOL[:2], compact_threshold=None)
+        pid = dyn.insert(regular_polygon((-73.90, 40.80), 0.006, 12))
+        assert dyn.containing_polygons(40.80, -73.90) == [pid]
+        dyn.delete(pid)
+        assert dyn.containing_polygons(40.80, -73.90) == []
+
+    def test_overlay_store_empty_probe(self):
+        dyn = DynamicPolygonIndex.build(POOL[:2], compact_threshold=None)
+        dyn.insert(POOL[2])
+        entries = dyn.store.probe(np.zeros(0, dtype=np.uint64))
+        assert entries.size == 0
+
+    def test_describe_reports_lifecycle_state(self):
+        dyn = DynamicPolygonIndex.build(POOL[:2], compact_threshold=None)
+        dyn.insert(POOL[2])
+        dyn.delete(0)
+        info = dyn.describe()
+        assert info["delta_size"] == 2
+        assert info["delta_inserts"] == 1
+        assert info["tombstones"] == 1
+        assert info["num_polygons"] == 2
+
+
+class TestCompaction:
+    def test_threshold_triggers_inline_compaction(self):
+        dyn = DynamicPolygonIndex.build(POOL[:2], compact_threshold=2)
+        dyn.insert(POOL[2])
+        assert dyn.compactions == 0
+        dyn.insert(POOL[3])  # second pending op reaches the threshold
+        assert dyn.compactions == 1
+        assert dyn.delta_size == 0
+        assert dyn.live_polygon_ids == [0, 1, 2, 3]
+
+    def test_manual_compaction_returns_fresh_snapshot(self):
+        dyn = DynamicPolygonIndex.build(POOL[:2], compact_threshold=None)
+        dyn.insert(POOL[2])
+        before = dyn.version
+        snapshot = dyn.compact()
+        assert snapshot is dyn.base
+        assert snapshot.version > before
+        assert dyn.version > snapshot.version  # install bumps once more
+
+    def test_background_compaction_with_concurrent_reads(self):
+        dyn = DynamicPolygonIndex.build(
+            POOL[:2], compact_threshold=3, background=True
+        )
+        errors: list[Exception] = []
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    result = dyn.join(LATS[:500], LNGS[:500], exact=True)
+                    assert result.num_points == 500
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        try:
+            for polygon in POOL[2:]:
+                dyn.insert(polygon)
+            dyn.delete(0)
+            dyn.wait_for_compaction()
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        assert not errors
+        assert dyn.compactions >= 1
+        _assert_matches_fresh_build(dyn, exact=True)
+
+    def test_ops_during_compaction_are_replayed(self):
+        # Simulate "mutations landed while the build ran" by compacting a
+        # stale capture: ops appended after capture must survive install.
+        dyn = DynamicPolygonIndex.build(POOL[:2], compact_threshold=None)
+        dyn.insert(POOL[2])
+        captured = dyn._capture()
+        dyn.insert(POOL[3])  # arrives "during" the build below
+        dyn.delete(0)
+        snapshot = dyn._build_snapshot(captured)
+        dyn._install_base(snapshot, captured.ops_consumed)
+        assert dyn.live_polygon_ids == [1, 2, 3]
+        assert dyn.delta_size == 2  # the two replayed ops are pending again
+        _assert_matches_fresh_build(dyn, exact=True)
+
+    def test_stale_compaction_install_is_discarded(self):
+        # A background build whose capture predates a newer install must
+        # not clobber acknowledged mutations when it finishes late.
+        dyn = DynamicPolygonIndex.build(POOL[:2], compact_threshold=None)
+        dyn.insert(POOL[2])
+        captured = dyn._capture()              # slow "background" capture
+        stale = dyn._build_snapshot(captured)
+        late_pid = dyn.insert(POOL[3])         # acknowledged after capture
+        dyn.compact()                          # newer snapshot installs first
+        assert dyn.is_live(late_pid)
+        installed = dyn._install_base(
+            stale, captured.ops_consumed, expected_epoch=captured.epoch
+        )
+        assert installed is False              # stale build discarded...
+        assert dyn.is_live(late_pid)           # ...and nothing was lost
+        _assert_matches_fresh_build(dyn, exact=True)
+
+    def test_background_compaction_chains_until_delta_is_small(self):
+        # Ops replayed at install must re-trigger compaction: the worker
+        # loops until the pending delta is below the threshold.
+        dyn = DynamicPolygonIndex.build(POOL[:1], compact_threshold=2, background=True)
+        for polygon in POOL[1:] + POOL[:3]:
+            dyn.insert(polygon)
+        dyn.wait_for_compaction()
+        assert dyn.delta_size < 2
+        assert dyn.compactions >= 1
+        _assert_matches_fresh_build(dyn, exact=True)
+
+    def test_restore_replays_log_and_respects_threshold(self):
+        dyn = DynamicPolygonIndex.build(POOL[:2], compact_threshold=None)
+        dyn.insert(POOL[2])
+        dyn.delete(0)
+        state = dyn.export_state()
+        # Restoring with a threshold the replayed log already exceeds
+        # compacts immediately instead of stalling above the threshold.
+        restored = DynamicPolygonIndex.restore(
+            state.base, state.pending, compact_threshold=2
+        )
+        assert restored.live_polygon_ids == dyn.live_polygon_ids
+        assert restored.compactions == 1
+        assert restored.delta_size == 0
+        a = dyn.join(LATS, LNGS, exact=True)
+        b = restored.join(LATS, LNGS, exact=True)
+        np.testing.assert_array_equal(a.counts, b.counts)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.cells import CellId, cell_ids_from_lat_lng_arrays
+from repro.cells import cell_ids_from_lat_lng_arrays
 from repro.core import PolygonIndex
 from repro.core.joins import (
     accurate_join,

@@ -1,5 +1,7 @@
 """Tests for index persistence (save_index / load_index)."""
 
+import pathlib
+
 import numpy as np
 import pytest
 
@@ -102,3 +104,124 @@ class TestErrors:
         np.savez_compressed(bad, **payload)
         with pytest.raises(ValueError):
             load_index(bad)
+
+
+FIXTURE_V1 = pathlib.Path(__file__).parent / "data" / "index_v1.npz"
+
+
+class TestBackwardCompatibility:
+    """A checked-in FORMAT_VERSION 1 file keeps loading bit-identically."""
+
+    def test_v1_fixture_loads(self):
+        index = load_index(FIXTURE_V1)
+        assert isinstance(index, PolygonIndex)
+        assert len(index.polygons) == 4
+        assert index.precision_meters == 60.0
+        assert index.store.fanout_bits == 4
+
+    def test_v1_fixture_join_bit_identical_to_fresh_build(self):
+        loaded = load_index(FIXTURE_V1)
+        fresh = PolygonIndex.build(
+            loaded.polygons,
+            precision_meters=loaded.precision_meters,
+            fanout_bits=loaded.store.fanout_bits,
+        )
+        generator = np.random.default_rng(17)
+        lngs = generator.uniform(-74.01, -73.97, 6000)
+        lats = generator.uniform(40.69, 40.73, 6000)
+        for exact in (False, True):
+            a = loaded.join(lats, lngs, exact=exact, materialize=True)
+            b = fresh.join(lats, lngs, exact=exact, materialize=True)
+            assert (a.counts == b.counts).all()
+            assert set(zip(a.pair_points.tolist(), a.pair_polygons.tolist())) == set(
+                zip(b.pair_points.tolist(), b.pair_polygons.tolist())
+            )
+
+    def test_loaded_index_outranks_everything_built_so_far(self, polygons, tmp_path):
+        # Versions are process-local: a load restamps (with the file's
+        # version as a floor), so load-then-swap into a live router always
+        # passes the newer-version check — even if the file was written
+        # early in another process's life.
+        index = PolygonIndex.build(polygons)
+        path = tmp_path / "v2.npz"
+        save_index(index, path)
+        later = PolygonIndex.build(polygons[:1])  # counter advances meanwhile
+        restored = load_index(path)
+        assert restored.version > index.version
+        assert restored.version > later.version
+
+    def test_load_then_swap_into_live_service(self, polygons, points, tmp_path):
+        from repro.serve import JoinService
+
+        lngs, lats = points
+        index = PolygonIndex.build(polygons)
+        path = tmp_path / "swap.npz"
+        save_index(index, path)
+        with JoinService(PolygonIndex.build(polygons[:1])) as svc:
+            svc.swap_layer("default", load_index(path))  # must not raise
+            served = svc.join(lats, lngs)
+        assert (served.counts == index.join(lats, lngs).counts).all()
+
+
+class TestDynamicRoundTrip:
+    def test_delta_log_replayed(self, polygons, points, tmp_path):
+        from repro.core import DynamicPolygonIndex
+        from repro.geo.polygon import regular_polygon
+
+        lngs, lats = points
+        dyn = DynamicPolygonIndex.build(
+            polygons, precision_meters=60.0, compact_threshold=None
+        )
+        dyn.insert(regular_polygon((-73.985, 40.715), 0.005, 8))
+        dyn.delete(0)
+        path = tmp_path / "dynamic.npz"
+        save_index(dyn, path)
+        restored = load_index(path)
+        assert isinstance(restored, DynamicPolygonIndex)
+        assert restored.delta_size == 2
+        assert restored.live_polygon_ids == dyn.live_polygon_ids
+        for exact in (False, True):
+            a = dyn.join(lats, lngs, exact=exact)
+            b = restored.join(lats, lngs, exact=exact)
+            assert (a.counts == b.counts).all()
+
+    def test_compacted_dynamic_saves_with_holes(self, polygons, points, tmp_path):
+        from repro.core import DynamicPolygonIndex
+
+        lngs, lats = points
+        dyn = DynamicPolygonIndex.build(polygons, compact_threshold=None)
+        dyn.delete(1)
+        dyn.compact()
+        path = tmp_path / "holes.npz"
+        save_index(dyn, path)
+        restored = load_index(path)
+        assert restored.polygons[1] is None
+        assert restored.live_polygon_ids == dyn.live_polygon_ids
+        a = dyn.join(lats, lngs, exact=True)
+        b = restored.join(lats, lngs, exact=True)
+        assert (a.counts == b.counts).all()
+
+    def test_custom_coverer_options_survive_roundtrip(self, polygons, tmp_path):
+        from repro.cells.coverer import CovererOptions
+        from repro.core import DynamicPolygonIndex
+
+        options = CovererOptions(max_cells=32, max_level=20)
+        dyn = DynamicPolygonIndex.build(
+            polygons[:2],
+            covering_options=options,
+            compact_threshold=None,
+        )
+        dyn.insert(polygons[2])
+        path = tmp_path / "options.npz"
+        save_index(dyn, path)
+        restored = load_index(path)
+        state = restored.export_state()
+        assert state.covering_options == options
+        # Replayed inserts were re-covered with the saved options, so the
+        # approximate (covering-structure-sensitive) results also match.
+        generator = np.random.default_rng(23)
+        lngs = generator.uniform(-74.01, -73.97, 4000)
+        lats = generator.uniform(40.69, 40.73, 4000)
+        assert (
+            dyn.join(lats, lngs).counts == restored.join(lats, lngs).counts
+        ).all()

@@ -394,3 +394,145 @@ class TestServiceStats:
         assert stats.requests == 0
         assert stats.p50_ms == 0.0
         assert stats.cache_hit_rate == 0.0
+
+
+class TestSnapshotSwap:
+    """Zero-downtime layer swap: versioned snapshots, version-keyed caches."""
+
+    def test_swap_replaces_layer_and_returns_old(self, index, second_index, points):
+        lats, lngs = points
+        with JoinService({"zones": index}) as svc:
+            before = svc.join(lats, lngs, layer="zones")
+            old = svc.swap_layer("zones", second_index)
+            after = svc.join(lats, lngs, layer="zones")
+        assert old is index
+        assert np.array_equal(before.counts, index.join(lats, lngs).counts)
+        assert np.array_equal(after.counts, second_index.join(lats, lngs).counts)
+
+    def test_swap_to_stale_version_refused(self):
+        # Built in order, so `newer` is guaranteed the higher version.
+        older = PolygonIndex.build([regular_polygon((-74.0, 40.70), 0.01, 8)])
+        newer = PolygonIndex.build([regular_polygon((-73.9, 40.80), 0.01, 8)])
+        assert older.version < newer.version
+        with JoinService({"zones": newer}) as svc:
+            with pytest.raises(ValueError):
+                svc.swap_layer("zones", older)
+
+    def test_swap_unknown_layer_raises(self, index, second_index):
+        with JoinService({"zones": index}) as svc:
+            with pytest.raises(KeyError):
+                svc.swap_layer("missing", second_index)
+
+    def test_router_rejects_non_index_registrations(self):
+        router = LayerRouter()
+        with pytest.raises(TypeError):
+            router.add("bogus", object())
+
+    def test_swap_invalidates_hot_cell_cache(self):
+        # Same probe point, different answers before/after the swap: a
+        # stale cache entry from the old version would leak the old answer.
+        target = (40.70, -74.0)
+        inside = PolygonIndex.build([regular_polygon((-74.0, 40.70), 0.01, 12)])
+        outside = PolygonIndex.build([regular_polygon((-73.90, 40.80), 0.01, 12)])
+        with JoinService(inside, cache_cells=1024) as svc:
+            for _ in range(4):  # populate the cache for the target cell
+                assert svc.lookup(*target) == [0]
+            svc.swap_layer("default", outside)
+            assert svc.lookup(*target) == []
+            assert svc.stats().layers["default"].version == outside.version
+
+    def test_swap_under_concurrent_lookups_never_serves_old_version(self):
+        # The acceptance criterion: once the swap has returned, no lookup
+        # started afterwards may return a reference from the old version.
+        inside = PolygonIndex.build([regular_polygon((-74.0, 40.70), 0.01, 12)])
+        outside = PolygonIndex.build([regular_polygon((-73.90, 40.80), 0.01, 12)])
+        valid = ([0], [])  # pre-swap answer, post-swap answer
+        swapped = threading.Event()
+        failures: list[tuple[bool, list]] = []
+
+        def client(svc):
+            for _ in range(200):
+                was_swapped = swapped.is_set()
+                result = svc.lookup(40.70, -74.0)
+                if result not in valid:
+                    failures.append((was_swapped, result))
+                elif was_swapped and result != []:
+                    failures.append((was_swapped, result))
+
+        with JoinService(inside, cache_cells=1024, max_wait_ms=0.2) as svc:
+            threads = [
+                threading.Thread(target=client, args=(svc,)) for _ in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            svc.swap_layer("default", outside)
+            swapped.set()
+            for thread in threads:
+                thread.join()
+        assert not failures
+
+    def test_mutating_dynamic_layer_never_serves_stale_cache(self):
+        from repro.core import DynamicPolygonIndex
+
+        dyn = DynamicPolygonIndex.build(
+            [regular_polygon((-74.0, 40.70), 0.01, 12)], compact_threshold=None
+        )
+        with JoinService(dyn, cache_cells=1024) as svc:
+            for _ in range(4):
+                assert svc.lookup(40.70, -74.0) == [0]
+            pid = dyn.insert(regular_polygon((-74.0, 40.70), 0.008, 10))
+            assert svc.lookup(40.70, -74.0) == [0, pid]
+            dyn.delete(0)
+            assert svc.lookup(40.70, -74.0) == [pid]
+            stats = svc.stats()
+        assert stats.layers["default"].version == dyn.version
+        assert stats.layers["default"].delta_size == 2
+
+    def test_dynamic_layer_batch_join_matches_direct(self, points):
+        from repro.core import DynamicPolygonIndex
+
+        lats, lngs = points
+        dyn = DynamicPolygonIndex.build(
+            _grid_polygons(), precision_meters=30.0, compact_threshold=None
+        )
+        dyn.insert(regular_polygon((-73.95, 40.75), 0.012, 16))
+        dyn.delete(0)
+        with JoinService(dyn) as svc:
+            served = svc.join(lats, lngs, exact=True)
+        direct = dyn.join(lats, lngs, exact=True)
+        assert np.array_equal(served.counts, direct.counts)
+
+    def test_cache_accessor_after_dynamic_mutation(self):
+        from repro.core import DynamicPolygonIndex
+
+        dyn = DynamicPolygonIndex.build(
+            [regular_polygon((-74.0, 40.70), 0.01, 12)], compact_threshold=None
+        )
+        with JoinService(dyn, cache_cells=64) as svc:
+            assert len(svc.cache()) == 0
+            dyn.insert(regular_polygon((-73.95, 40.74), 0.01, 12))
+            # no dispatch between the mutation and the accessor:
+            assert svc.cache().capacity == 64
+
+    def test_stats_while_layers_are_added(self, index, second_index):
+        stop = threading.Event()
+        errors: list[Exception] = []
+
+        def poll(svc):
+            while not stop.is_set():
+                try:
+                    svc.stats()
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+                    return
+
+        with JoinService({"base": index}) as svc:
+            thread = threading.Thread(target=poll, args=(svc,))
+            thread.start()
+            try:
+                for k in range(50):
+                    svc.add_layer(f"layer-{k}", second_index)
+            finally:
+                stop.set()
+                thread.join()
+        assert not errors
