@@ -55,6 +55,12 @@ class BenchConfig:
     churn_probe_batch: int = 8192
     #: Churn benchmark: pending ops triggering background compaction.
     churn_compact_threshold: int = 48
+    #: Refinement benchmark: Voronoi polygons (acceptance needs >= 1k).
+    refine_polygons: int = 1500
+    #: Refinement benchmark: probe points refined through both paths.
+    refine_points: int = 300_000
+    #: Refinement benchmark: average vertices per polygon boundary.
+    refine_avg_vertices: int = 48
     #: Base RNG seed for every generator.
     seed: int = 42
 
@@ -78,6 +84,9 @@ class BenchConfig:
             churn_probe_points=30_000,
             churn_probe_batch=4_096,
             churn_compact_threshold=16,
+            refine_polygons=300,
+            refine_points=50_000,
+            refine_avg_vertices=24,
         )
 
     @staticmethod

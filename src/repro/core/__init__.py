@@ -29,6 +29,7 @@ from repro.core.joins import (
     accurate_join,
     batch_probe,
     refine_candidates,
+    refine_candidates_masks,
 )
 from repro.core.builder import (
     PolygonIndex,
@@ -61,6 +62,7 @@ __all__ = [
     "accurate_join",
     "batch_probe",
     "refine_candidates",
+    "refine_candidates_masks",
     "PolygonIndex",
     "ProbeView",
     "build_pipeline",

@@ -53,6 +53,7 @@ from repro.core.refs import validate_polygon_id
 from repro.core.super_covering import SuperCovering, build_super_covering
 from repro.core.training import TrainingReport, train_super_covering
 from repro.geo.polygon import Polygon
+from repro.geo.refine import RefinementEngine
 from repro.util.timing import Timer
 
 #: The paper's default configuration for individual polygon approximations
@@ -226,7 +227,9 @@ class ProbeView:
     ``lookup_table`` were built together, ``polygons`` is the polygon
     sequence the entries reference, and ``version`` identifies the whole
     bundle — so a concurrent mutation or snapshot swap can never mix fields
-    from two generations.
+    from two generations.  ``refiner`` is the snapshot's refinement engine
+    (one per view; the per-polygon edge accelerators inside it are
+    memoized on the polygon objects, so overlapping snapshots share them).
     """
 
     version: int
@@ -234,6 +237,7 @@ class ProbeView:
     lookup_table: LookupTable
     polygons: tuple[Polygon | None, ...]
     max_cell_level: int
+    refiner: RefinementEngine | None = None
 
 
 def join_probe_view(
@@ -267,6 +271,7 @@ def join_probe_view(
             polygons=view.polygons if exact else None,
             lngs=lngs if exact else None,
             lats=lats if exact else None,
+            engine=view.refiner if exact else None,
         )
     if exact:
         return accurate_join(
@@ -277,6 +282,7 @@ def join_probe_view(
             lngs,
             lats,
             materialize=materialize,
+            engine=view.refiner,
         )
     return approximate_join(
         view.store,
@@ -419,12 +425,14 @@ class PolygonIndex:
         """The current :class:`ProbeView` (cached; invalidated on rebuild)."""
         view = self._probe_view
         if view is None or view.store is not self.store:
+            polygons = tuple(self.polygons)
             view = ProbeView(
                 version=self.version,
                 store=self.store,
                 lookup_table=self.lookup_table,
-                polygons=tuple(self.polygons),
+                polygons=polygons,
                 max_cell_level=self.max_cell_level(),
+                refiner=RefinementEngine(polygons),
             )
             self._probe_view = view
         return view

@@ -60,6 +60,7 @@ from repro.core.precision import refine_to_precision
 from repro.core.refs import merge_refs, validate_polygon_id
 from repro.core.super_covering import SuperCovering
 from repro.geo.polygon import Polygon
+from repro.geo.refine import RefinementEngine
 
 
 class OverlayCellStore:
@@ -611,6 +612,9 @@ class DynamicPolygonIndex:
             store: object = self._base.store
             table = self._base.lookup_table
             max_level = self._base.max_cell_level()
+            # Clean base: reuse the snapshot's engine so its flat bucket
+            # table is built once per base generation, not per refresh.
+            refiner = self._base.probe_view().refiner
         else:
             store = OverlayCellStore(
                 self._base.store,
@@ -625,12 +629,22 @@ class DynamicPolygonIndex:
                 self._base.max_cell_level(),
                 max(histogram) if histogram else 0,
             )
+            # Overlay views are born and die per mutation, so they stay
+            # on the group-by refinement path (no flat-table build on the
+            # query path after every insert/delete); the per-polygon edge
+            # accelerators are memoized on the polygon objects, so
+            # surviving polygons carry theirs across overlays and
+            # compactions for free.
+            refiner = RefinementEngine(
+                tuple(self._polygons), build_table=False
+            )
         self._view = ProbeView(
             version=self._version,
             store=store,
             lookup_table=table,
             polygons=tuple(self._polygons),
             max_cell_level=max_level,
+            refiner=refiner,
         )
 
     def probe_view(self) -> ProbeView:

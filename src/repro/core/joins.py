@@ -7,8 +7,9 @@ point's leaf cell id, decode the returned polygon references, and
   are exact; candidate hits may be false positives whose distance from the
   polygon is bounded by the index's precision bound.
 * **accurate join** — emit true hits directly and send candidate hits to
-  the refinement phase, a vectorized point-in-polygon test grouped by
-  polygon.
+  the refinement phase: one argsort group-by over the candidate pairs,
+  each polygon's group PIP-tested through its latitude-bucketed edge
+  accelerator (:mod:`repro.geo.refine`).
 
 Following the paper's evaluation methodology, the default "count mode"
 aggregates points per polygon instead of materializing pairs (thread-local
@@ -39,6 +40,7 @@ from repro.core.lookup_table import (
 )
 from repro.geo.pip import contains_points
 from repro.geo.polygon import Polygon
+from repro.geo.refine import RefinementEngine
 from repro.util.timing import Timer
 
 _VALUE_MASK = np.uint64((1 << 31) - 1)
@@ -153,13 +155,44 @@ def refine_candidates(
     polygons: Sequence[Polygon],
     lngs: np.ndarray,
     lats: np.ndarray,
+    engine: RefinementEngine | None = None,
 ) -> tuple[np.ndarray, np.ndarray, int, int]:
     """Refinement phase of the accurate join: PIP-test candidate pairs.
 
     Takes the pair arrays produced by :func:`batch_probe`, keeps true hits
-    as-is, and runs vectorized point-in-polygon tests on the candidates
-    grouped by polygon.  Returns ``(kept point indices, kept polygon ids,
-    number of PIP tests, number of distinct refined points)``.
+    as-is, and runs the candidates through a
+    :class:`~repro.geo.refine.RefinementEngine` — one stable argsort
+    group-by over the candidate polygon ids, each group tested against
+    that polygon's latitude-bucketed edge accelerator.  ``engine`` is
+    normally the snapshot's prebuilt engine (``ProbeView.refiner``); when
+    omitted, an ephemeral one is created over ``polygons``.  The
+    per-polygon accelerators are memoized on the polygon objects, so even
+    the ephemeral path pays the packing cost only once per polygon — but
+    an ephemeral engine skips the flat bucket table (it could never
+    amortize the build across calls) and stays on the group-by path.
+    Returns ``(kept point indices, kept polygon ids, number of PIP tests,
+    number of distinct refined points)``.
+    """
+    if engine is None:
+        engine = RefinementEngine(polygons, build_table=False)
+    return engine.refine(point_idx, pids, is_true, lngs, lats)
+
+
+def refine_candidates_masks(
+    point_idx: np.ndarray,
+    pids: np.ndarray,
+    is_true: np.ndarray,
+    polygons: Sequence[Polygon],
+    lngs: np.ndarray,
+    lats: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, int, int]:
+    """The historical per-polygon-mask refinement (reference baseline).
+
+    Scans one boolean mask over the full candidate array per distinct
+    polygon — O(unique polygons x candidates) — and brute-force tests
+    every edge per PIP call.  Kept as the oracle the vectorized engine is
+    benchmarked (``python -m repro.bench refine``) and parity-tested
+    against; production paths all go through :func:`refine_candidates`.
     """
     cand = ~is_true
     cand_points = point_idx[cand]
@@ -208,13 +241,14 @@ def accurate_join(
     lngs: np.ndarray,
     lats: np.ndarray,
     materialize: bool = False,
+    engine: RefinementEngine | None = None,
 ) -> JoinResult:
     """Accurate join: candidate hits are refined with PIP tests."""
     with Timer() as probe_timer:
         point_idx, pids, is_true = batch_probe(store, lookup_table, cell_ids)
     with Timer() as refine_timer:
         keep_points, keep_pids, num_pip, num_refined = refine_candidates(
-            point_idx, pids, is_true, polygons, lngs, lats
+            point_idx, pids, is_true, polygons, lngs, lats, engine=engine
         )
         counts = np.bincount(keep_pids, minlength=len(polygons))
     result = JoinResult(
@@ -244,6 +278,7 @@ def parallel_count_join(
     lngs: np.ndarray | None = None,
     lats: np.ndarray | None = None,
     batch_size: int = 1 << 16,
+    engine: RefinementEngine | None = None,
 ) -> JoinResult:
     """Multi-threaded count join (the paper's probe-phase parallelization).
 
@@ -251,20 +286,39 @@ def parallel_count_join(
     thread-local polygon counters, aggregated at the end — the same scheme
     the paper describes (Section 3.4), with a batch size suited to
     numpy-granularity work instead of the paper's 16-tuple batches.
+
+    Every :class:`JoinResult` statistic matches the single-threaded
+    drivers on the same inputs; the parallel wall time is apportioned
+    between ``probe_seconds`` and ``refine_seconds`` by the workers'
+    measured probe/refine ratio, so the two still sum to elapsed time.
     """
     cell_ids = np.asarray(cell_ids, dtype=np.uint64)
     exact = polygons is not None
+    if exact and engine is None:
+        # One shared engine: workers refining the same polygon reuse one
+        # accelerator instead of racing to build thread-local ones, and a
+        # flat-table build is amortized across every batch of this call.
+        engine = RefinementEngine(polygons)
     num_batches = (len(cell_ids) + batch_size - 1) // batch_size
     batch_counter = itertools.count()  # the paper's shared atomic counter
     lock = threading.Lock()
     counts = np.zeros(num_polygons, dtype=np.int64)
-    totals = {"pairs": 0, "pip": 0, "sth": 0}
+    totals = {
+        "pairs": 0,
+        "true": 0,
+        "cand": 0,
+        "pip": 0,
+        "sth": 0,
+        "probe": 0.0,
+        "refine": 0.0,
+    }
 
     def worker() -> None:
         # Thread-local counters, merged once under the lock at the end —
         # the paper's contention-avoidance scheme (Section 4).
         local_counts = np.zeros(num_polygons, dtype=np.int64)
-        pairs = pip = sth = 0
+        local = {"pairs": 0, "true": 0, "cand": 0, "pip": 0, "sth": 0,
+                 "probe": 0.0, "refine": 0.0}
         while True:
             batch = next(batch_counter)
             if batch >= num_batches:
@@ -274,30 +328,43 @@ def parallel_count_join(
             chunk = cell_ids[lo:hi]
             if exact:
                 part = accurate_join(
-                    store, lookup_table, chunk, polygons, lngs[lo:hi], lats[lo:hi]
+                    store, lookup_table, chunk, polygons, lngs[lo:hi],
+                    lats[lo:hi], engine=engine,
                 )
             else:
                 part = approximate_join(store, lookup_table, chunk, num_polygons)
             local_counts += part.counts
-            pairs += part.num_pairs
-            pip += part.num_pip_tests
-            sth += part.solely_true_hits
+            local["pairs"] += part.num_pairs
+            local["true"] += part.num_true_hit_pairs
+            local["cand"] += part.num_candidate_pairs
+            local["pip"] += part.num_pip_tests
+            local["sth"] += part.solely_true_hits
+            local["probe"] += part.probe_seconds
+            local["refine"] += part.refine_seconds
         with lock:
             counts.__iadd__(local_counts)
-            totals["pairs"] += pairs
-            totals["pip"] += pip
-            totals["sth"] += sth
+            for key, value in local.items():
+                totals[key] += value
 
     with Timer() as timer:
         with ThreadPoolExecutor(max_workers=num_threads) as pool:
             futures = [pool.submit(worker) for _ in range(num_threads)]
             for future in futures:
                 future.result()
+    # Apportion the parallel wall time by the workers' probe/refine ratio
+    # so probe_seconds + refine_seconds == elapsed time.
+    busy_total = totals["probe"] + totals["refine"]
+    refine_wall = (
+        timer.seconds * totals["refine"] / busy_total if busy_total > 0 else 0.0
+    )
     return JoinResult(
         num_points=len(cell_ids),
         counts=counts,
         num_pairs=totals["pairs"],
+        num_true_hit_pairs=totals["true"],
+        num_candidate_pairs=totals["cand"],
         num_pip_tests=totals["pip"],
         solely_true_hits=totals["sth"],
-        probe_seconds=timer.seconds,
+        probe_seconds=timer.seconds - refine_wall,
+        refine_seconds=refine_wall,
     )

@@ -6,7 +6,13 @@ build time the paper chose not to optimize.  ``save_index``/``load_index``
 serialize everything needed to probe — the super covering (cells +
 references), the polygons (WKT), and the build configuration — into a
 single ``.npz`` file; loading re-runs only the cheap, vectorized trie
-construction.
+construction.  Derived probe-path state is *not* serialized: the
+refinement engine and its per-polygon edge accelerators
+(:mod:`repro.geo.refine`) are deterministic functions of the restored
+geometry, so a loaded index re-attaches a fresh engine on its first
+``probe_view()`` and rebuilds each polygon's packed edge buckets lazily
+on first refinement — round-tripped indexes refine through the exact
+same accelerated path as freshly built ones.
 
 Format history:
 

@@ -75,7 +75,8 @@ class Ring:
 class Polygon:
     """One outer ring plus optional hole rings, with even-odd semantics."""
 
-    __slots__ = ("outer", "holes", "_mbr", "_edge_cache", "_edgeset_cache")
+    __slots__ = ("outer", "holes", "_mbr", "_edge_cache", "_edgeset_cache",
+                 "_refine_cache")
 
     def __init__(self, outer: Ring | Sequence[tuple[float, float]],
                  holes: Sequence[Ring | Sequence[tuple[float, float]]] = ()):
@@ -84,6 +85,7 @@ class Polygon:
         self._mbr: Rect | None = None
         self._edge_cache: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None = None
         self._edgeset_cache = None  # lazily built by repro.geo.relation
+        self._refine_cache = None  # lazily built by repro.geo.refine
 
     @property
     def rings(self) -> list[Ring]:

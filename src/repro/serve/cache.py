@@ -78,6 +78,10 @@ class HotCellCache:
             return entry
 
     def put(self, cell_id: int, entry: int) -> None:
+        if self.capacity == 0:
+            # Caching disabled: inserting would only evict immediately,
+            # inflating the eviction counter for entries never servable.
+            return
         with self._lock:
             self._entries[cell_id] = entry
             self._entries.move_to_end(cell_id)
@@ -109,6 +113,8 @@ class HotCellCache:
 
     def put_many(self, items: list[tuple[int, int]]) -> None:
         """Batch :meth:`put` under one lock acquisition."""
+        if self.capacity == 0:
+            return
         with self._lock:
             entries = self._entries
             for cell_id, entry in items:
@@ -206,4 +212,13 @@ class CachedCellStore:
 
     # Pass introspection through so `describe()`/`size_bytes` keep working.
     def __getattr__(self, name: str):
+        # Only reached when normal lookup fails.  `copy.copy`/`pickle`
+        # probe dunders (and then instance attributes) on a bare instance
+        # whose __dict__ is not populated yet; delegating those through
+        # ``self.store`` would recurse forever, so anything that should
+        # live on the wrapper itself raises AttributeError instead.
+        if name.startswith("__") or name in ("store", "cache", "key_shift"):
+            raise AttributeError(
+                f"{type(self).__name__!r} object has no attribute {name!r}"
+            )
         return getattr(self.store, name)

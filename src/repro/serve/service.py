@@ -366,6 +366,7 @@ class JoinService:
                 lngs,
                 lats,
                 materialize=materialize,
+                engine=view.refiner,
             )
         return approximate_join(
             store,

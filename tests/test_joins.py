@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.cells import cell_ids_from_lat_lng_arrays
 from repro.core import PolygonIndex
@@ -184,3 +186,76 @@ class TestParallelJoin:
             batch_size=7,
         )
         assert (serial.counts == parallel.counts).all()
+
+    #: Every deterministic JoinResult statistic (timings excluded).
+    STAT_FIELDS = (
+        "num_points",
+        "num_pairs",
+        "num_true_hit_pairs",
+        "num_candidate_pairs",
+        "num_pip_tests",
+        "solely_true_hits",
+    )
+
+    @given(
+        num_points=st.integers(0, 4000),
+        num_threads=st.integers(1, 4),
+        batch_size=st.integers(1, 700),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_exact_matches_serial_on_every_stat_field(
+        self, built, num_points, num_threads, batch_size
+    ):
+        """Regression: the merge used to drop num_true_hit_pairs,
+        num_candidate_pairs, and refine_seconds entirely."""
+        index, lngs, lats, ids, _ = built
+        serial = accurate_join(
+            index.store, index.lookup_table, ids[:num_points],
+            index.polygons, lngs[:num_points], lats[:num_points],
+        )
+        parallel = parallel_count_join(
+            index.store,
+            index.lookup_table,
+            ids[:num_points],
+            len(index.polygons),
+            num_threads,
+            polygons=index.polygons,
+            lngs=lngs[:num_points],
+            lats=lats[:num_points],
+            batch_size=batch_size,
+        )
+        assert (serial.counts == parallel.counts).all()
+        for name in self.STAT_FIELDS:
+            assert getattr(parallel, name) == getattr(serial, name), name
+        assert parallel.sth_rate == serial.sth_rate
+        # Wall time is fully apportioned between the two phases, and the
+        # refinement phase is no longer reported as free when it ran.
+        assert parallel.probe_seconds >= 0.0
+        assert parallel.refine_seconds >= 0.0
+        if parallel.num_pip_tests > 0 and serial.refine_seconds > 0.0:
+            assert parallel.refine_seconds > 0.0
+
+    @given(
+        num_points=st.integers(0, 4000),
+        num_threads=st.integers(1, 4),
+        batch_size=st.integers(1, 700),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_approx_matches_serial_on_every_stat_field(
+        self, built, num_points, num_threads, batch_size
+    ):
+        index, lngs, lats, ids, _ = built
+        serial = approximate_join(
+            index.store, index.lookup_table, ids[:num_points], len(index.polygons)
+        )
+        parallel = parallel_count_join(
+            index.store,
+            index.lookup_table,
+            ids[:num_points],
+            len(index.polygons),
+            num_threads,
+            batch_size=batch_size,
+        )
+        assert (serial.counts == parallel.counts).all()
+        for name in self.STAT_FIELDS:
+            assert getattr(parallel, name) == getattr(serial, name), name

@@ -1,0 +1,236 @@
+"""Tests for the vectorized refinement engine (repro.geo.refine).
+
+The engine's contract is *bit-identical* accept/reject decisions with the
+brute-force paths it replaces: ``PolygonAccelerator.contains`` against
+``contains_points``, and ``RefinementEngine.refine`` against the
+historical per-polygon-mask loop (``refine_candidates_masks``).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cells import cell_ids_from_lat_lng_arrays
+from repro.core import PolygonIndex, load_index, save_index
+from repro.core.dynamic import DynamicPolygonIndex
+from repro.core.joins import (
+    accurate_join,
+    batch_probe,
+    refine_candidates,
+    refine_candidates_masks,
+)
+from repro.geo.pip import contains_points
+from repro.geo.polygon import Polygon, regular_polygon
+from repro.geo.refine import (
+    PolygonAccelerator,
+    RefinementEngine,
+    polygon_accelerator,
+)
+
+
+def _random_star_polygon(rng) -> Polygon:
+    """A random simple star-shaped polygon around a random center."""
+    num_vertices = int(rng.integers(3, 80))
+    cx, cy = rng.uniform(-1.0, 1.0, 2)
+    angles = np.sort(rng.uniform(0.0, 2.0 * np.pi, num_vertices))
+    radii = rng.uniform(0.05, 1.0, num_vertices)
+    pts = [(cx + r * np.cos(a), cy + r * np.sin(a)) for r, a in zip(radii, angles)]
+    return Polygon(pts)
+
+
+class TestPolygonAccelerator:
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_bit_identical_to_contains_points(self, seed):
+        rng = np.random.default_rng(seed)
+        polygon = _random_star_polygon(rng)
+        lngs = rng.uniform(-2.5, 2.5, 3000)
+        lats = rng.uniform(-2.5, 2.5, 3000)
+        brute = contains_points(polygon, lngs, lats)
+        fast = PolygonAccelerator(polygon).contains(lngs, lats)
+        assert (brute == fast).all()
+
+    def test_bucket_path_matches_dense_path(self):
+        """Enough point x edge pairs to force the bucketed code path."""
+        rng = np.random.default_rng(3)
+        polygon = regular_polygon((0.0, 0.0), 1.0, 400)
+        accelerator = PolygonAccelerator(polygon)
+        lngs = rng.uniform(-1.5, 1.5, 30_000)
+        lats = rng.uniform(-1.5, 1.5, 30_000)
+        assert len(lngs) * accelerator.num_edges > 200_000  # bucketed
+        assert accelerator.num_buckets > 1
+        brute = contains_points(polygon, lngs, lats)
+        assert (brute == accelerator.contains(lngs, lats)).all()
+
+    def test_polygon_with_hole(self, holed_polygon):
+        rng = np.random.default_rng(5)
+        lngs = rng.uniform(-74.02, -73.98, 20_000)
+        lats = rng.uniform(40.69, 40.73, 20_000)
+        brute = contains_points(holed_polygon, lngs, lats)
+        fast = PolygonAccelerator(holed_polygon).contains(lngs, lats)
+        assert (brute == fast).all()
+        # The hole actually carves points out (the test is not vacuous).
+        inside_hole = (
+            (lngs > -74.006) & (lngs < -73.994)
+            & (lats > 40.706) & (lats < 40.714)
+        )
+        assert not fast[inside_hole].any()
+        assert fast.any()
+
+    def test_horizontal_edges_and_boundary_latitudes(self):
+        square = Polygon([(-1.0, -1.0), (1.0, -1.0), (1.0, 1.0), (-1.0, 1.0)])
+        lngs = np.linspace(-1.5, 1.5, 101)
+        for lat in (-1.0, 0.0, 1.0):  # bottom edge, interior, top edge
+            lats = np.full_like(lngs, lat)
+            brute = contains_points(square, lngs, lats)
+            fast = PolygonAccelerator(square).contains(lngs, lats)
+            assert (brute == fast).all()
+
+    def test_empty_inputs(self):
+        polygon = regular_polygon((0.0, 0.0), 1.0, 8)
+        out = PolygonAccelerator(polygon).contains(np.zeros(0), np.zeros(0))
+        assert out.shape == (0,)
+
+    def test_memoized_on_polygon(self):
+        polygon = regular_polygon((0.0, 0.0), 1.0, 8)
+        assert polygon_accelerator(polygon) is polygon_accelerator(polygon)
+
+    def test_every_replicated_edge_is_real(self):
+        """CSR replication covers each edge's full latitude interval."""
+        polygon = regular_polygon((0.0, 0.0), 1.0, 100)
+        accelerator = PolygonAccelerator(polygon)
+        assert accelerator.bucket_start[-1] == len(accelerator.ey0)
+        assert accelerator.num_buckets >= 1
+        # Per-bucket edge counts are far below the full edge count.
+        widths = np.diff(accelerator.bucket_start)
+        assert widths.max() < accelerator.num_edges
+
+
+@pytest.fixture(scope="module")
+def built_index():
+    polygons = [
+        regular_polygon((-74.0 + gx * 0.02, 40.70 + gy * 0.02), 0.011, 16)
+        for gx in range(3)
+        for gy in range(3)
+    ]
+    index = PolygonIndex.build(polygons, precision_meters=30.0)
+    rng = np.random.default_rng(21)
+    lngs = rng.uniform(-74.03, -73.93, 20_000)
+    lats = rng.uniform(40.67, 40.77, 20_000)
+    cell_ids = cell_ids_from_lat_lng_arrays(lats, lngs)
+    return index, lngs, lats, cell_ids
+
+
+class TestRefinementEngine:
+    def test_refine_matches_mask_baseline_bit_for_bit(self, built_index):
+        index, lngs, lats, cell_ids = built_index
+        pairs = batch_probe(index.store, index.lookup_table, cell_ids)
+        baseline = refine_candidates_masks(*pairs, index.polygons, lngs, lats)
+        engine = RefinementEngine(tuple(index.polygons))
+        fast = engine.refine(*pairs, lngs, lats)
+        assert (baseline[0] == fast[0]).all()  # kept point indices
+        assert (baseline[1] == fast[1]).all()  # kept polygon ids
+        assert baseline[2] == fast[2]  # PIP tests
+        assert baseline[3] == fast[3]  # distinct refined points
+
+    def test_refine_candidates_wrapper_builds_ephemeral_engine(self, built_index):
+        index, lngs, lats, cell_ids = built_index
+        pairs = batch_probe(index.store, index.lookup_table, cell_ids)
+        baseline = refine_candidates_masks(*pairs, index.polygons, lngs, lats)
+        wrapped = refine_candidates(*pairs, index.polygons, lngs, lats)
+        assert (baseline[0] == wrapped[0]).all()
+        assert (baseline[1] == wrapped[1]).all()
+
+    def test_accurate_join_counts_match_brute_force(self, built_index):
+        index, lngs, lats, cell_ids = built_index
+        result = accurate_join(
+            index.store, index.lookup_table, cell_ids, index.polygons,
+            lngs, lats, engine=index.probe_view().refiner,
+        )
+        brute = np.vstack(
+            [contains_points(p, lngs, lats) for p in index.polygons]
+        )
+        assert (result.counts == brute.sum(axis=1)).all()
+
+    def test_probe_view_carries_engine(self, built_index):
+        index, _, _, _ = built_index
+        view = index.probe_view()
+        assert view.refiner is not None
+        assert view.refiner.num_polygons == len(index.polygons)
+        # The cached view keeps one engine per snapshot.
+        assert index.probe_view().refiner is view.refiner
+
+    def test_empty_candidates(self):
+        engine = RefinementEngine(())
+        empty_i = np.zeros(0, dtype=np.int64)
+        keep_points, keep_pids, pip, refined = engine.refine(
+            empty_i, empty_i.copy(), np.zeros(0, dtype=bool),
+            np.zeros(0), np.zeros(0),
+        )
+        assert len(keep_points) == len(keep_pids) == 0
+        assert pip == 0 and refined == 0
+
+    def test_warm_builds_all_live_accelerators(self):
+        polygons = (regular_polygon((0.0, 0.0), 1.0, 8), None,
+                    regular_polygon((3.0, 0.0), 1.0, 8))
+        engine = RefinementEngine(polygons)
+        assert engine.warm() > 0
+        assert polygons[0]._refine_cache is not None
+        assert polygons[2]._refine_cache is not None
+
+    def test_dead_polygon_raises(self):
+        engine = RefinementEngine((None,))
+        with pytest.raises(KeyError):
+            engine.accelerator(0)
+
+
+class TestEngineIntegration:
+    def test_survives_serialize_round_trip(self, built_index, tmp_path):
+        index, lngs, lats, cell_ids = built_index
+        path = tmp_path / "index.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+        view = loaded.probe_view()
+        assert view.refiner is not None
+        original = accurate_join(
+            index.store, index.lookup_table, cell_ids, index.polygons,
+            lngs, lats,
+        )
+        restored = loaded.join(lats, lngs, exact=True)
+        assert (original.counts == restored.counts).all()
+
+    def test_dynamic_overlay_carries_engine(self):
+        polygons = [
+            regular_polygon((-74.0 + k * 0.03, 40.70), 0.012, 14)
+            for k in range(4)
+        ]
+        dynamic = DynamicPolygonIndex.build(polygons, compact_threshold=None)
+        inserted = regular_polygon((-73.88, 40.70), 0.012, 14)
+        new_id = dynamic.insert(inserted)
+        dynamic.delete(0)
+        view = dynamic.probe_view()
+        assert view.refiner is not None
+        rng = np.random.default_rng(9)
+        lngs = rng.uniform(-74.05, -73.85, 10_000)
+        lats = rng.uniform(40.65, 40.75, 10_000)
+        result = dynamic.join(lats, lngs, exact=True)
+        live = [None] * len(view.polygons)
+        for pid, polygon in enumerate(view.polygons):
+            if polygon is not None and pid != 0:
+                live[pid] = polygon
+        expected = np.zeros(len(view.polygons), dtype=np.int64)
+        for pid, polygon in enumerate(live):
+            if polygon is not None:
+                expected[pid] = int(contains_points(polygon, lngs, lats).sum())
+        assert (result.counts == expected).all()
+        assert result.counts[new_id] > 0
+
+    def test_snapshots_share_accelerators_through_polygons(self):
+        polygons = [regular_polygon((0.0, 0.0), 1.0, 12)]
+        index = PolygonIndex.build(polygons)
+        engine = index.probe_view().refiner
+        accelerator = engine.accelerator(0)
+        # A second engine over the same polygon objects reuses the arrays.
+        other = RefinementEngine(tuple(polygons))
+        assert other.accelerator(0) is accelerator

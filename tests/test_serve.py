@@ -299,6 +299,48 @@ class TestHotCellCache:
         assert 0.0 < stats.cache_hit_rate <= 1.0
         assert stats.cache["default"].hits > 0
 
+    def test_zero_capacity_put_is_noop(self):
+        """Regression: capacity-0 puts inserted then immediately evicted,
+        inflating the eviction counter (one put -> evictions=1)."""
+        cache = HotCellCache(capacity=0)
+        cache.put(1, 11)
+        cache.put_many([(2, 22), (3, 33)])
+        stats = cache.stats()
+        assert stats.evictions == 0
+        assert stats.size == 0
+        assert len(cache) == 0
+        assert cache.get(1) is None
+
+    def test_cached_store_copy_does_not_recurse(self, index):
+        """Regression: copy.copy() of a CachedCellStore recursed forever —
+        __getattr__ delegated 'store' before __dict__ was populated."""
+        import copy
+
+        store = CachedCellStore(index.store, HotCellCache(capacity=8))
+        clone = copy.copy(store)
+        assert clone.store is store.store
+        assert clone.cache is store.cache
+        assert clone.key_shift == store.key_shift
+        ids = index.cell_ids_for(
+            np.asarray([40.705, 40.71]), np.asarray([-74.0, -73.99])
+        )
+        assert np.array_equal(clone.probe(ids), index.store.probe(ids))
+
+    def test_cached_store_getattr_guards(self, index):
+        store = CachedCellStore(index.store, HotCellCache(capacity=8))
+        # Wrapper-owned names and dunders never delegate: on a bare
+        # instance (no __dict__ entries yet) they must raise instead of
+        # recursing through self.store.
+        bare = CachedCellStore.__new__(CachedCellStore)
+        with pytest.raises(AttributeError):
+            bare.store  # noqa: B018 - the lookup itself is the test
+        with pytest.raises(AttributeError):
+            getattr(bare, "__deepcopy__")
+        with pytest.raises(AttributeError):
+            getattr(store, "definitely_missing_attribute")
+        # ...while real introspection still passes through to the store.
+        assert store.size_bytes == index.store.size_bytes
+
 
 class TestLayerRouter:
     def test_single_layer_is_default(self, index):
