@@ -30,6 +30,8 @@ See DESIGN.md for the architecture and layer diagram.
 from repro.cells import CellId, LatLng, cell_ids_from_lat_lng_arrays
 from repro.cells.coverer import CovererOptions, RegionCoverer
 from repro.core import (
+    AdaptationPolicy,
+    AdaptationStatus,
     AdaptiveCellTrie,
     CompressedCellTrie,
     DynamicPolygonIndex,
@@ -56,7 +58,7 @@ from repro.serve import (
     ServiceStats,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "CellId",
@@ -64,6 +66,8 @@ __all__ = [
     "cell_ids_from_lat_lng_arrays",
     "CovererOptions",
     "RegionCoverer",
+    "AdaptationPolicy",
+    "AdaptationStatus",
     "AdaptiveCellTrie",
     "CompressedCellTrie",
     "JoinResult",

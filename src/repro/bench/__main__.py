@@ -18,7 +18,7 @@ import sys
 import time
 
 from repro.bench import fig7, fig8, fig9, fig10, fig11
-from repro.bench import churn_bench, refine_bench, serve_bench
+from repro.bench import adapt_bench, churn_bench, refine_bench, serve_bench
 from repro.bench import table1, table2, table3, table4, table5, training_bench
 from repro.bench.config import BenchConfig
 from repro.bench.workbench import Workbench
@@ -39,6 +39,7 @@ RUNNERS = {
     "serve": serve_bench.run,
     "churn": churn_bench.run,
     "refine": refine_bench.run,
+    "adapt": adapt_bench.run,
 }
 
 
@@ -52,7 +53,10 @@ def main(argv: list[str] | None = None) -> int:
         nargs="+",
         help=f"experiment ids ({', '.join(RUNNERS)}) or 'all'",
     )
-    parser.add_argument("--quick", action="store_true", help="smoke-scale run")
+    parser.add_argument(
+        "--quick", "--smoke", dest="quick", action="store_true",
+        help="smoke-scale run",
+    )
     parser.add_argument(
         "--results-dir", default="results", help="output directory (default: results/)"
     )

@@ -12,7 +12,7 @@ Two presets:
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)
@@ -61,6 +61,15 @@ class BenchConfig:
     refine_points: int = 300_000
     #: Refinement benchmark: average vertices per polygon boundary.
     refine_avg_vertices: int = 48
+    #: Adaptation benchmark: historical (training) points per drift phase.
+    adapt_train_points: int = 100_000
+    #: Adaptation benchmark: live query points per drift phase.
+    adapt_query_points: int = 150_000
+    #: Adaptation benchmark: request batch size streamed at the services.
+    adapt_batch: int = 8_192
+    #: Adaptation benchmark: training-speedup measurement set size
+    #: (acceptance: vectorized >= 5x the per-point loop at 100 k points).
+    adapt_speedup_points: int = 100_000
     #: Base RNG seed for every generator.
     seed: int = 42
 
@@ -87,6 +96,10 @@ class BenchConfig:
             refine_polygons=300,
             refine_points=50_000,
             refine_avg_vertices=24,
+            adapt_train_points=20_000,
+            adapt_query_points=40_000,
+            adapt_batch=4_096,
+            adapt_speedup_points=10_000,
         )
 
     @staticmethod

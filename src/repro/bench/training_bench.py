@@ -9,11 +9,9 @@ largest training-set size.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.bench.measure import exact_throughput_mpts, mib
 from repro.bench.result import ExperimentResult
-from repro.bench.workbench import POLYGON_DATASET_NAMES, Workbench, _clone_covering
+from repro.bench.workbench import POLYGON_DATASET_NAMES, Workbench
 from repro.cells.vectorized import cell_ids_from_lat_lng_arrays
 from repro.core.act import AdaptiveCellTrie
 from repro.core.lookup_table import LookupTable
@@ -69,7 +67,7 @@ def _run_both(workbench: Workbench) -> tuple[ExperimentResult, ExperimentResult]
         )
         trained_sth = base_join.sth_rate
         for num_train in config.training_points:
-            covering = _clone_covering(base)
+            covering = base.copy()
             train_super_covering(covering, polygons, train_ids[:num_train])
             store = AdaptiveCellTrie(covering, 8, LookupTable())
             mpts, join = exact_throughput_mpts(

@@ -110,7 +110,7 @@ class Workbench:
             if precision is None:
                 self._super_coverings[key] = (base, 0.0)
             else:
-                refined = _clone_covering(base)
+                refined = base.copy()
                 with Timer() as timer:
                     refine_to_precision(refined, self.polygons(name), precision)
                 self._super_coverings[key] = (refined, timer.seconds)
@@ -155,10 +155,3 @@ class Workbench:
             self._points[key] = (lats, lngs, cell_ids_from_lat_lng_arrays(lats, lngs))
         return self._points[key]
 
-
-def _clone_covering(covering: SuperCovering) -> SuperCovering:
-    """Deep-copy a super covering so refinement keeps the base reusable."""
-    clone = SuperCovering()
-    clone._refs = dict(covering._refs)
-    clone._sorted_ids = list(covering._sorted_ids)
-    return clone

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.cells.cellid import CellId
 from repro.cells.metrics import EARTH_RADIUS_METERS, MAX_EDGE_DERIV
 from repro.geo.rect import Rect
@@ -93,3 +95,100 @@ def bound_rect_from_face_ij(face: int, i: int, j: int, size: int, level: int) ->
         min_lat - pad_lat,
         max_lat + pad_lat,
     )
+
+
+def _st_to_uv_array(s: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`_st_to_uv` (both quadratic branches evaluated)."""
+    high = _ONE_THIRD * (4.0 * s * s - 1.0)
+    low = _ONE_THIRD * (1.0 - 4.0 * (1.0 - s) * (1.0 - s))
+    return np.where(s >= 0.5, high, low)
+
+
+def _face_uv_to_xyz_arrays(
+    face: np.ndarray, u: np.ndarray, v: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized ``projections.face_uv_to_xyz`` over per-element faces."""
+    x = np.empty_like(u)
+    y = np.empty_like(u)
+    z = np.empty_like(u)
+    ones = np.ones_like(u)
+    for f, (fx, fy, fz) in enumerate((
+        (ones, u, v),        # face 0
+        (-u, ones, v),       # face 1
+        (-u, -v, ones),      # face 2
+        (-ones, -v, -u),     # face 3
+        (v, -ones, -u),      # face 4
+        (v, u, -ones),       # face 5
+    )):
+        sel = face == f
+        if sel.any():
+            x[sel] = fx[sel]
+            y[sel] = fy[sel]
+            z[sel] = fz[sel]
+    return x, y, z
+
+
+def bound_rects_for_cell_ids(
+    raw_ids: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized :func:`cell_bound_rect` over an array of cell ids.
+
+    Returns ``(lng_lo, lng_hi, lat_lo, lat_hi)`` float arrays with the same
+    conservative semantics as the scalar path (corner extremes, the
+    antimeridian/pole fallbacks, and the per-level bulge pad).  The
+    floating pipeline differs from the scalar helper by at most rounding
+    in the trig calls — negligible against the pad, so the containment
+    guarantee carries over.  Used by index training, which classifies tens
+    of thousands of split children per pass.
+    """
+    ids = np.asarray(raw_ids, dtype=np.uint64)
+    if ids.size == 0:
+        empty = np.zeros(0, dtype=np.float64)
+        return empty, empty.copy(), empty.copy(), empty.copy()
+    from repro.cells.vectorized import face_ij_from_leaf_ids
+
+    lsb = ids & (~ids + np.uint64(1))
+    # lsb == 1 << (2 * (MAX_LEVEL - level)); log2 is exact on powers of two.
+    level = 30 - (np.log2(lsb.astype(np.float64)) / 2.0).astype(np.int64)
+    size = (np.int64(1) << (np.int64(30) - level)).astype(np.int64)
+    leaf_min = ids - (lsb - np.uint64(1))
+    face, i, j = face_ij_from_leaf_ids(leaf_min)
+    size_mask = ~(size - 1)
+    i = i & size_mask
+    j = j & size_mask
+    min_lat = np.full(ids.shape, math.inf)
+    max_lat = np.full(ids.shape, -math.inf)
+    min_lng = np.full(ids.shape, math.inf)
+    max_lng = np.full(ids.shape, -math.inf)
+    for di, dj in ((0, 0), (1, 0), (1, 1), (0, 1)):
+        s = (i + di * size) / _MAX_SIZE
+        t = (j + dj * size) / _MAX_SIZE
+        x, y, z = _face_uv_to_xyz_arrays(face, _st_to_uv_array(s), _st_to_uv_array(t))
+        lat = np.degrees(np.arctan2(z, np.hypot(x, y)))
+        lng = np.degrees(np.arctan2(y, x))
+        np.minimum(min_lat, lat, out=min_lat)
+        np.maximum(max_lat, lat, out=max_lat)
+        np.minimum(min_lng, lng, out=min_lng)
+        np.maximum(max_lng, lng, out=max_lng)
+    # Conservative fallbacks, as in the scalar path: antimeridian-crossing
+    # cells and pole-containing cells on the top/bottom faces.
+    wrap = (max_lng - min_lng) > 180.0
+    half_face = _MAX_SIZE // 2
+    covers_center = (
+        (i <= half_face) & (half_face <= i + size)
+        & (j <= half_face) & (half_face <= j + size)
+    )
+    north = covers_center & (face == 2)
+    south = covers_center & (face == 5)
+    max_lat = np.where(north, 90.0, max_lat)
+    min_lat = np.where(south, -90.0, min_lat)
+    full_lng = wrap | north | south
+    min_lng = np.where(full_lng, -180.0, min_lng)
+    max_lng = np.where(full_lng, 180.0, max_lng)
+    theta = MAX_EDGE_DERIV / np.exp2(level.astype(np.float64))
+    pad_lat = (2.0 * (theta * theta / 8.0) * EARTH_RADIUS_METERS) / _METERS_PER_DEGREE
+    max_abs_lat = np.minimum(
+        89.9, np.maximum(np.abs(min_lat), np.abs(max_lat)) + pad_lat
+    )
+    pad_lng = pad_lat / np.maximum(0.01, np.cos(np.radians(max_abs_lat)))
+    return min_lng - pad_lng, max_lng + pad_lng, min_lat - pad_lat, max_lat + pad_lat

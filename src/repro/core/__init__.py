@@ -13,7 +13,9 @@
 * :mod:`repro.core.builder` — the high-level :class:`PolygonIndex` facade
   and the reusable build pipeline with versioned snapshots,
 * :mod:`repro.core.dynamic` — the dynamic index lifecycle: delta overlays,
-  tombstones, and background compaction over an immutable base snapshot.
+  tombstones, and background compaction over an immutable base snapshot,
+* :mod:`repro.core.adaptive` — the online adaptation loop: refinement
+  telemetry, drift detection, and background retraining of live layers.
 """
 
 from repro.core.refs import PolygonRef, merge_refs
@@ -21,8 +23,18 @@ from repro.core.lookup_table import LookupTable
 from repro.core.super_covering import SuperCovering, build_super_covering
 from repro.core.act import AdaptiveCellTrie
 from repro.core.act_compressed import CompressedCellTrie
+from repro.core.adaptive import (
+    AdaptationPolicy,
+    AdaptationStatus,
+    AdaptiveController,
+)
 from repro.core.precision import refine_to_precision
-from repro.core.training import train_super_covering
+from repro.core.training import (
+    SthEvaluator,
+    solely_true_hit_rate,
+    train_super_covering,
+    train_super_covering_sequential,
+)
 from repro.core.joins import (
     JoinResult,
     approximate_join,
@@ -55,8 +67,14 @@ __all__ = [
     "build_super_covering",
     "AdaptiveCellTrie",
     "CompressedCellTrie",
+    "AdaptationPolicy",
+    "AdaptationStatus",
+    "AdaptiveController",
     "refine_to_precision",
+    "SthEvaluator",
+    "solely_true_hit_rate",
     "train_super_covering",
+    "train_super_covering_sequential",
     "JoinResult",
     "approximate_join",
     "accurate_join",

@@ -1,0 +1,464 @@
+"""Online workload-adaptive retraining (closing the Section 3.3.1 loop).
+
+The paper trains the super covering on *historical* points in a dedicated
+offline phase.  A live service cannot stop the world when traffic drifts —
+a hotspot that moves cities leaves the index trained for yesterday's
+workload, tanking the solely-true-hit (STH) rate exactly where load is.
+This module turns the training phase into a feedback loop over the
+machinery the serving stack already has:
+
+* **telemetry** — :class:`TrafficSink` piggybacks on the hot-cell cache's
+  key computation (:class:`repro.serve.cache.CachedCellStore` already
+  deduplicates each probe batch to truncated cell keys): per unique key it
+  classifies the store's tagged entry as expensive or not straight from
+  the entry bits, and feeds :class:`LayerTelemetry` — a windowed STH rate
+  plus a histogram of refinement traffic per cell key.  Cost per probe is
+  a few vectorized ops over the already-computed unique keys.
+* **trigger** — :class:`AdaptiveController` watches the windowed STH rate
+  after each dispatch; when it sinks below ``AdaptationPolicy.sth_target``
+  (outside the cooldown), it claims a retrain slot and hands the observed
+  traffic histogram to a background worker.
+* **retrain** — the worker synthesizes a training point set from the
+  histogram (hottest keys first, repeats capped) and retrains with
+  ``order="hot"`` under a cell budget: ``PolygonIndex.retrained`` builds a
+  fresh snapshot from a *copy* of the covering (swapped in atomically via
+  ``JoinService.swap_layer``), while ``DynamicPolygonIndex.retrain`` rides
+  the epoch-guarded compaction path, folding pending delta operations into
+  the trained snapshot.
+
+Training only ever splits cells — no point's reference set changes — so
+join results before and after an adaptation are bit-identical to a fresh
+build; only the refinement work per point shrinks.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.lookup_table import (
+    TAG_OFFSET,
+    TAG_ONE_REF,
+    TAG_TWO_REFS,
+    LookupTable,
+)
+
+#: Retrain entry points looked up on the layer index, in order.
+_DYNAMIC_RETRAIN = "retrain"
+_STATIC_RETRAIN = "retrained"
+
+
+@dataclass(frozen=True)
+class AdaptationPolicy:
+    """Knobs of the self-tuning loop (defaults need no operator input)."""
+
+    #: Retrain when the windowed STH rate drops below this.
+    sth_target: float = 0.85
+    #: Telemetry window size in probed points (sliding).
+    window_points: int = 32_768
+    #: Do not judge the STH rate before this many points are in the window.
+    min_window_points: int = 4_096
+    #: Points to observe after a retrain before judging again.
+    cooldown_points: int = 65_536
+    #: Cap on the synthesized training set per retrain.
+    max_training_points: int = 50_000
+    #: Cap on how often one cell key repeats in the synthesized set (each
+    #: repeat deepens that cell's subtree by at most one level).
+    max_repeats_per_key: int = 64
+    #: Cell budget per retrain: ``factor * the layer's covering size when
+    #: the controller first retrained it`` — anchored to that baseline so
+    #: repeated drift cycles cannot compound the ceiling geometrically …
+    cell_budget_factor: float = 4.0
+    #: … unless an absolute budget is given.
+    max_cells: int | None = None
+    #: Histogram size guard: prune to the hottest half beyond this.
+    max_tracked_keys: int = 65_536
+
+
+@dataclass(frozen=True)
+class AdaptationStatus:
+    """One layer's live adaptation state (surfaced in ``ServiceStats``)."""
+
+    window_points: int
+    window_sth_rate: float
+    tracked_keys: int
+    retrains_started: int
+    retrains_completed: int
+    retrains_failed: int
+    retraining: bool
+    last_trained_version: int  # 0 = never retrained
+
+
+class _EntryClassifier:
+    """Vectorized expensive-entry flags for tagged store entries.
+
+    An entry is *expensive* when its reference set contains at least one
+    candidate (non-interior) reference — exactly the cells whose points
+    enter the refinement phase.  One/two-ref entries are classified from
+    the inlined interior bits; offset entries decode once per distinct
+    offset (memoized).  Sentinel/pointer entries (misses) are cheap.
+    """
+
+    __slots__ = ("_table", "_offset_memo")
+
+    def __init__(self, lookup_table: LookupTable):
+        self._table = lookup_table
+        self._offset_memo: dict[int, bool] = {}
+
+    def expensive(self, entries: np.ndarray) -> np.ndarray:
+        entries = np.asarray(entries, dtype=np.uint64)
+        tags = entries & np.uint64(3)
+        out = np.zeros(len(entries), dtype=bool)
+        one = tags == np.uint64(TAG_ONE_REF)
+        if one.any():
+            out[one] = ((entries[one] >> np.uint64(2)) & np.uint64(1)) == 0
+        two = tags == np.uint64(TAG_TWO_REFS)
+        if two.any():
+            first_interior = (entries[two] >> np.uint64(2)) & np.uint64(1)
+            second_interior = (entries[two] >> np.uint64(33)) & np.uint64(1)
+            out[two] = (first_interior == 0) | (second_interior == 0)
+        offsets = np.nonzero(tags == np.uint64(TAG_OFFSET))[0]
+        for slot in offsets:
+            offset = int(entries[slot]) >> 2
+            flag = self._offset_memo.get(offset)
+            if flag is None:
+                flag = any(
+                    not ref.interior for ref in self._table.decode_offset(offset)
+                )
+                self._offset_memo[offset] = flag
+            out[slot] = flag
+        return out
+
+
+class LayerTelemetry:
+    """Windowed refinement telemetry for one served layer (thread-safe).
+
+    Keys are *canonical cell ids*: the truncated cache key shifted back up
+    with its level marker bit restored.  A cell id self-describes its
+    extent, so histograms recorded under different cache-key depths (the
+    shift changes when a retrain deepens the covering) stay in one
+    coordinate system, and the retrain worker can synthesize training
+    points spread across each hot cell's true leaf range.
+    """
+
+    def __init__(self, policy: AdaptationPolicy):
+        self._policy = policy
+        self._lock = threading.Lock()
+        self._window: deque[tuple[int, int]] = deque()  # (points, refined)
+        self._window_total = 0
+        self._window_refined = 0
+        self._hot: dict[int, int] = {}  # leaf key -> refined points
+        self._points_since_retrain = policy.cooldown_points  # no initial cooldown
+
+    def record(
+        self, unique_keys: np.ndarray, weights: np.ndarray, expensive: np.ndarray
+    ) -> None:
+        """Fold one probe batch (already deduplicated to keys) in."""
+        points = int(weights.sum())
+        if points == 0:
+            return
+        refined = int(weights[expensive].sum())
+        with self._lock:
+            self._window.append((points, refined))
+            self._window_total += points
+            self._window_refined += refined
+            self._points_since_retrain += points
+            window_cap = self._policy.window_points
+            # Slide: drop whole old records while the window overflows
+            # (the newest record always stays, even if alone over cap).
+            while len(self._window) > 1 and self._window_total > window_cap:
+                old_points, old_refined = self._window.popleft()
+                self._window_total -= old_points
+                self._window_refined -= old_refined
+            if refined:
+                hot = self._hot
+                for key, weight in zip(
+                    unique_keys[expensive].tolist(), weights[expensive].tolist()
+                ):
+                    hot[key] = hot.get(key, 0) + int(weight)
+                if len(hot) > self._policy.max_tracked_keys:
+                    keep = sorted(hot.items(), key=lambda kv: -kv[1])
+                    self._hot = dict(keep[: self._policy.max_tracked_keys // 2])
+
+    def window_sth_rate(self) -> float:
+        with self._lock:
+            if self._window_total == 0:
+                return 1.0
+            return 1.0 - self._window_refined / self._window_total
+
+    def should_adapt(self) -> bool:
+        """Window full enough, STH below target, outside the cooldown."""
+        policy = self._policy
+        with self._lock:
+            if self._window_total < policy.min_window_points:
+                return False
+            if self._points_since_retrain < policy.cooldown_points:
+                return False
+            if not self._hot:
+                return False
+            rate = 1.0 - self._window_refined / self._window_total
+            return rate < policy.sth_target
+
+    def snapshot_hot(self) -> dict[int, int]:
+        with self._lock:
+            return dict(self._hot)
+
+    def reset_after_retrain(self) -> None:
+        """Restart the window: old traffic described the old covering."""
+        with self._lock:
+            self._window.clear()
+            self._window_total = 0
+            self._window_refined = 0
+            self._hot = {}
+            self._points_since_retrain = 0
+
+    def status(self) -> tuple[int, float, int]:
+        with self._lock:
+            rate = (
+                1.0
+                if self._window_total == 0
+                else 1.0 - self._window_refined / self._window_total
+            )
+            return self._window_total, rate, len(self._hot)
+
+
+class TrafficSink:
+    """Per-(layer, version) recorder handed to a ``CachedCellStore``.
+
+    ``record`` receives exactly what the cache path already computed — the
+    batch's unique truncated keys, their point weights, and the resolved
+    store entries — classifies the entries, widens the keys back to
+    canonical leaf ids, and feeds the layer's telemetry.
+    """
+
+    __slots__ = ("_telemetry", "_classifier", "_key_shift")
+
+    def __init__(
+        self,
+        telemetry: LayerTelemetry,
+        lookup_table: LookupTable,
+        key_shift: int,
+    ):
+        self._telemetry = telemetry
+        self._classifier = _EntryClassifier(lookup_table)
+        self._key_shift = np.uint64(key_shift)
+
+    def record(
+        self, unique_keys: np.ndarray, weights: np.ndarray, entries: np.ndarray
+    ) -> None:
+        expensive = self._classifier.expensive(entries)
+        # Restore the truncated key to its cell id: position bits shifted
+        # back up, marker bit at the key's own level (key_shift >= 1).
+        marker = np.uint64(1) << (self._key_shift - np.uint64(1))
+        cell_keys = (
+            np.asarray(unique_keys, dtype=np.uint64) << self._key_shift
+        ) | marker
+        self._telemetry.record(cell_keys, np.asarray(weights), expensive)
+
+
+class AdaptiveController:
+    """Watches per-layer telemetry and retrains drifted layers online.
+
+    One instance per :class:`~repro.serve.service.JoinService`.  The
+    service calls :meth:`sink_for` when it attaches a probe view (wiring
+    the telemetry into the cache path) and :meth:`after_dispatch` after
+    every join dispatch (the trigger check, a few lock-free comparisons in
+    the common case).  Retraining runs on a daemon worker thread, one per
+    layer at a time, and installs through the index's own snapshot
+    machinery — dynamic indexes via their epoch-guarded compaction path,
+    static snapshots via the ``swap`` callable (normally
+    ``JoinService.swap_layer``).
+    """
+
+    def __init__(
+        self,
+        policy: AdaptationPolicy | None = None,
+        swap: Callable[[str, object], object] | None = None,
+    ):
+        self.policy = policy or AdaptationPolicy()
+        self._swap = swap
+        self._lock = threading.Lock()
+        self._telemetry: dict[str, LayerTelemetry] = {}
+        self._retraining: dict[str, bool] = {}
+        self._workers: dict[str, threading.Thread] = {}
+        self._started: dict[str, int] = {}
+        self._completed: dict[str, int] = {}
+        self._failed: dict[str, int] = {}
+        self._last_version: dict[str, int] = {}
+        self._last_training_ids: dict[str, np.ndarray] = {}
+        self._baseline_cells: dict[str, int] = {}
+        self._last_error: Exception | None = None
+
+    # ------------------------------------------------------------------
+    # Service-facing wiring
+    # ------------------------------------------------------------------
+
+    def telemetry_for(self, layer: str) -> LayerTelemetry:
+        with self._lock:
+            telemetry = self._telemetry.get(layer)
+            if telemetry is None:
+                telemetry = LayerTelemetry(self.policy)
+                self._telemetry[layer] = telemetry
+            return telemetry
+
+    def sink_for(
+        self, layer: str, lookup_table: LookupTable, key_shift: int
+    ) -> TrafficSink:
+        """A recorder for one (layer, version) cache generation."""
+        return TrafficSink(self.telemetry_for(layer), lookup_table, key_shift)
+
+    def after_dispatch(self, layer: str, index: object) -> bool:
+        """Trigger check; starts a background retrain when drift is seen."""
+        telemetry = self._telemetry.get(layer)
+        if telemetry is None or not telemetry.should_adapt():
+            return False
+        with self._lock:
+            if self._retraining.get(layer):
+                return False
+            self._retraining[layer] = True
+            self._started[layer] = self._started.get(layer, 0) + 1
+            worker = threading.Thread(
+                target=self._retrain_worker,
+                args=(layer, index, telemetry),
+                name=f"repro-adapt-{layer}",
+                daemon=True,
+            )
+            self._workers[layer] = worker
+        worker.start()
+        return True
+
+    # ------------------------------------------------------------------
+    # Retraining
+    # ------------------------------------------------------------------
+
+    def training_ids_from(self, hot: dict[int, int]) -> np.ndarray:
+        """Synthesize a training point set from a refinement histogram.
+
+        Hottest cells first; per-cell repeats capped and the total capped,
+        so a retrain's cost is bounded no matter how much traffic the
+        window saw.  A cell's repeats are *spread evenly across its leaf
+        range* rather than stacked on one representative point: stacked
+        repeats would drive every split down a single path (needlessly
+        deepening the covering and shrinking the sound cache key), while
+        spread ones split like real traffic — one level per round,
+        branching into the children.  With ``order="hot"`` downstream, a
+        budgeted retrain spends its cells on the head of this ranking.
+        """
+        policy = self.policy
+        parts: list[np.ndarray] = []
+        total = 0
+        for key, count in sorted(hot.items(), key=lambda kv: -kv[1]):
+            if total >= policy.max_training_points:
+                break
+            repeat = min(count, policy.max_repeats_per_key,
+                         policy.max_training_points - total)
+            lsb = key & -key  # == number of leaf slots in the cell
+            lo = key - (lsb - 1)  # range_min leaf id (odd)
+            repeat = min(repeat, lsb)
+            step = 2 * (lsb // repeat)  # even: samples stay on leaf ids
+            parts.append(
+                np.uint64(lo) + np.uint64(step) * np.arange(repeat, dtype=np.uint64)
+            )
+            total += repeat
+        if not parts:
+            return np.zeros(0, dtype=np.uint64)
+        return np.concatenate(parts)
+
+    def _cell_budget(self, layer: str, index: object) -> int | None:
+        if self.policy.max_cells is not None:
+            return self.policy.max_cells
+        num_cells = getattr(index, "num_cells", None)
+        if num_cells is None:
+            return None
+        # Anchor the relative budget to the covering size seen at the
+        # layer's FIRST retrain: retraining an already-deepened covering
+        # against "factor x current" would let the ceiling compound by
+        # the factor on every drift cycle.
+        with self._lock:
+            baseline = self._baseline_cells.setdefault(layer, int(num_cells))
+        return int(math.ceil(self.policy.cell_budget_factor * baseline))
+
+    def _retrain_worker(
+        self, layer: str, index: object, telemetry: LayerTelemetry
+    ) -> None:
+        try:
+            training_ids = self.training_ids_from(telemetry.snapshot_hot())
+            budget = self._cell_budget(layer, index)
+            retrain = getattr(index, _DYNAMIC_RETRAIN, None)
+            if callable(retrain):
+                installed = retrain(training_ids, max_cells=budget, order="hot")
+                version = int(getattr(installed, "version", getattr(index, "version", 0)))
+            else:
+                fresh = getattr(index, _STATIC_RETRAIN)(
+                    training_ids, max_cells=budget, order="hot"
+                )
+                if self._swap is None:
+                    raise RuntimeError(
+                        "no swap callable configured for static snapshots"
+                    )
+                self._swap(layer, fresh)
+                version = int(fresh.version)
+            telemetry.reset_after_retrain()
+            with self._lock:
+                self._completed[layer] = self._completed.get(layer, 0) + 1
+                self._last_version[layer] = version
+                self._last_training_ids[layer] = training_ids
+        except Exception as exc:  # surfaced via stats + last_error
+            with self._lock:
+                self._failed[layer] = self._failed.get(layer, 0) + 1
+                self._last_error = exc
+        finally:
+            with self._lock:
+                self._retraining[layer] = False
+
+    # ------------------------------------------------------------------
+    # Introspection & lifecycle
+    # ------------------------------------------------------------------
+
+    def last_training_ids(self, layer: str) -> np.ndarray | None:
+        """The training set the last completed retrain of ``layer`` used."""
+        with self._lock:
+            ids = self._last_training_ids.get(layer)
+            return None if ids is None else ids.copy()
+
+    @property
+    def last_error(self) -> Exception | None:
+        return self._last_error
+
+    def status(self) -> dict[str, AdaptationStatus]:
+        with self._lock:
+            layers = list(self._telemetry.items())
+            started = dict(self._started)
+            completed = dict(self._completed)
+            failed = dict(self._failed)
+            retraining = dict(self._retraining)
+            versions = dict(self._last_version)
+        out: dict[str, AdaptationStatus] = {}
+        for layer, telemetry in layers:
+            window_points, rate, tracked = telemetry.status()
+            out[layer] = AdaptationStatus(
+                window_points=window_points,
+                window_sth_rate=rate,
+                tracked_keys=tracked,
+                retrains_started=started.get(layer, 0),
+                retrains_completed=completed.get(layer, 0),
+                retrains_failed=failed.get(layer, 0),
+                retraining=retraining.get(layer, False),
+                last_trained_version=versions.get(layer, 0),
+            )
+        return out
+
+    def wait(self, timeout: float | None = None) -> None:
+        """Block until in-flight retrains finish (tests and benchmarks)."""
+        with self._lock:
+            workers = list(self._workers.values())
+        for worker in workers:
+            worker.join(timeout)
+
+    def close(self) -> None:
+        self.wait(timeout=60.0)

@@ -163,6 +163,7 @@ def build_pipeline(
     interior_options: CovererOptions = DEFAULT_INTERIOR_OPTIONS,
     training_cell_ids: np.ndarray | None = None,
     training_max_cells: int | None = None,
+    training_order: str = "arrival",
     fanout_bits: int = 8,
     store_factory: Callable[[SuperCovering, LookupTable], object] | None = None,
 ) -> BuildArtifacts:
@@ -173,6 +174,9 @@ def build_pipeline(
     names the polygons to index with their (stable, possibly sparse) ids;
     ``polygons_by_id`` is the id-indexable sequence refinement and training
     consult — entries for ids not being indexed may be ``None``.
+    ``training_order`` selects the split schedule under a training budget
+    (``"hot"`` spends the budget on the hottest cells; see
+    :func:`repro.core.training.train_super_covering`).
     """
     covering_coverer = RegionCoverer(covering_options)
     interior_coverer = RegionCoverer(interior_options)
@@ -203,6 +207,7 @@ def build_pipeline(
                 polygons_by_id,
                 training_cell_ids,
                 max_cells=training_max_cells,
+                order=training_order,
             )
         timings.training_seconds = train_timer.seconds
     with Timer() as store_timer:
@@ -337,6 +342,7 @@ class PolygonIndex:
         interior_options: CovererOptions = DEFAULT_INTERIOR_OPTIONS,
         training_cell_ids: np.ndarray | None = None,
         training_max_cells: int | None = None,
+        training_order: str = "arrival",
         store_factory: Callable[[SuperCovering, LookupTable], object] | None = None,
     ) -> "PolygonIndex":
         """Build an index.
@@ -361,6 +367,7 @@ class PolygonIndex:
             interior_options=interior_options,
             training_cell_ids=training_cell_ids,
             training_max_cells=training_max_cells,
+            training_order=training_order,
             fanout_bits=fanout_bits,
             store_factory=store_factory,
         )
@@ -472,6 +479,57 @@ class PolygonIndex:
         )
         self.version = next_index_version()
         self._probe_view = None
+
+    def retrained(
+        self,
+        training_cell_ids: np.ndarray,
+        *,
+        max_cells: int | None = None,
+        order: str = "hot",
+    ) -> "PolygonIndex":
+        """A fresh snapshot of this index trained on new historical points.
+
+        The live index is untouched: training runs on a *copy* of the
+        super covering and the copy is indexed into a new store with a new
+        (strictly larger) version, ready for an atomic
+        ``JoinService.swap_layer``.  This is the static-snapshot half of
+        the online adaptation loop; ``DynamicPolygonIndex.retrain`` is the
+        delta-overlay half (it rides the compaction path instead, folding
+        pending mutations into the retrained snapshot).
+
+        Join results are unchanged by construction — training only splits
+        cells, which never alters any point's reference set.
+        """
+        if not isinstance(self.store, AdaptiveCellTrie):
+            raise NotImplementedError(
+                "online retraining is only wired up for the ACT store"
+            )
+        covering = self.super_covering.copy()
+        with Timer() as train_timer:
+            report = train_super_covering(
+                covering,
+                self.polygons,
+                np.asarray(training_cell_ids, dtype=np.uint64),
+                max_cells=max_cells,
+                order=order,
+            )
+        with Timer() as store_timer:
+            store, lookup_table = build_store(
+                covering, fanout_bits=self.store.fanout_bits
+            )
+        timings = BuildTimings(
+            training_seconds=train_timer.seconds,
+            store_build_seconds=store_timer.seconds,
+        )
+        return PolygonIndex(
+            list(self.polygons),
+            covering,
+            store,
+            lookup_table,
+            timings,
+            self.precision_meters,
+            report,
+        )
 
     # ------------------------------------------------------------------
     # Introspection

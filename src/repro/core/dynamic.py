@@ -243,6 +243,7 @@ class DynamicPolygonIndex:
         self._interior_options = interior_options
         self._training_cell_ids = training_cell_ids
         self._training_max_cells = training_max_cells
+        self._training_order = "arrival"
         self._store_factory = store_factory
         self._fanout_bits = int(getattr(base.store, "fanout_bits", 8))
         self._compactor: threading.Thread | None = None
@@ -470,6 +471,43 @@ class DynamicPolygonIndex:
             )
             return self._base
 
+    def retrain(
+        self,
+        training_cell_ids: np.ndarray,
+        *,
+        max_cells: int | None = None,
+        order: str = "hot",
+        attempts: int = 3,
+    ) -> PolygonIndex | None:
+        """Retrain on new historical points by riding the compaction path.
+
+        Installs the new training configuration (it also governs every
+        later compaction) and synchronously rebuilds the live polygon set
+        into a trained snapshot, installed through the same epoch-guarded
+        ``_install_base`` as any compaction — so pending delta operations
+        are folded in or replayed, and concurrent mutations are never
+        lost.  Runs inline on the calling thread (the adaptation
+        controller already calls it from a background worker); if a
+        concurrent compaction wins the install race, the build is retried
+        up to ``attempts`` times.  Returns the installed base snapshot, or
+        ``None`` when every attempt lost the race (the new training
+        configuration still applies to the winner's successors).
+        """
+        with self._lock:
+            self._training_cell_ids = np.asarray(training_cell_ids, dtype=np.uint64)
+            self._training_max_cells = max_cells
+            self._training_order = order
+        for _ in range(attempts):
+            with self._lock:
+                captured = self._capture()
+            snapshot = self._build_snapshot(captured)
+            with self._lock:
+                if self._install_base(
+                    snapshot, captured.ops_consumed, expected_epoch=captured.epoch
+                ):
+                    return self._base
+        return None
+
     def _start_background_compaction(self) -> None:
         with self._lock:
             # Checked against a lock-owned flag, not Thread.is_alive(): the
@@ -551,6 +589,7 @@ class DynamicPolygonIndex:
             interior_options=self._interior_options,
             training_cell_ids=self._training_cell_ids,
             training_max_cells=self._training_max_cells,
+            training_order=self._training_order,
             fanout_bits=self._fanout_bits,
             store_factory=self._store_factory,
         )

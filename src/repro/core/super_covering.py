@@ -71,6 +71,17 @@ class SuperCovering:
     def num_cells(self) -> int:
         return len(self._refs)
 
+    def copy(self) -> "SuperCovering":
+        """An independent shallow copy (reference tuples are immutable).
+
+        Used by online retraining, which adapts a copy of the live
+        covering in the background and only then swaps the result in.
+        """
+        clone = SuperCovering()
+        clone._refs = dict(self._refs)
+        clone._sorted_ids = list(self._sorted_ids)
+        return clone
+
     def find_containing(self, leaf_id: int) -> tuple[CellId, tuple[PolygonRef, ...]] | None:
         """The unique cell containing a leaf id, or None (walks ancestors)."""
         cell = CellId(leaf_id)

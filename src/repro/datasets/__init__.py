@@ -28,8 +28,11 @@ from repro.datasets.workloads import (
     POLYGON_DATASETS,
     ChurnOp,
     ChurnWorkload,
+    DriftPhase,
+    DriftingHotspotWorkload,
     PolygonDatasetSpec,
     TWITTER_CITIES,
+    drifting_hotspot_workload,
     polygon_churn_workload,
     polygon_dataset,
     taxi_points,
@@ -51,6 +54,9 @@ __all__ = [
     "PolygonDatasetSpec",
     "ChurnOp",
     "ChurnWorkload",
+    "DriftPhase",
+    "DriftingHotspotWorkload",
+    "drifting_hotspot_workload",
     "polygon_churn_workload",
     "polygon_dataset",
     "taxi_points",

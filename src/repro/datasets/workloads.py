@@ -241,6 +241,78 @@ def polygon_churn_workload(
     )
 
 
+@dataclass(frozen=True)
+class DriftPhase:
+    """One stationary episode of a drifting request stream.
+
+    ``train`` points are the phase's *history* (what an offline training
+    pass would have seen); ``query`` points are the live request stream of
+    the same hotspot process.  Both are drawn from one generator run, so
+    they share hotspot centers but not samples.
+    """
+
+    name: str
+    train_lats: np.ndarray
+    train_lngs: np.ndarray
+    query_lats: np.ndarray
+    query_lngs: np.ndarray
+
+
+@dataclass(frozen=True)
+class DriftingHotspotWorkload:
+    """A request stream whose hotspots move between phases.
+
+    The scenario behind workload-adaptive retraining: an index trained on
+    phase ``k``'s history serves phase ``k``'s queries with a high
+    solely-true-hit rate, then the hotspots move (phase ``k+1``) and the
+    trained refinement is in the wrong place until the index re-adapts.
+    """
+
+    phases: tuple[DriftPhase, ...]
+
+
+def drifting_hotspot_workload(
+    num_phases: int = 2,
+    train_points: int = 100_000,
+    query_points: int = 200_000,
+    bounds: Rect = NYC_BOX,
+    num_hotspots: int = 3,
+    hotspot_fraction: float = 0.95,
+    spread_fraction: float = 0.03,
+    seed: int = 4242,
+) -> DriftingHotspotWorkload:
+    """Generate a drifting-hotspot scenario (deterministic in ``seed``).
+
+    Each phase draws fresh hotspot centers (a different per-phase seed),
+    so the hotspot mass moves to new locations between phases while the
+    uniform background stays.  Within a phase, history and live stream
+    come from one generator run over ``train_points + query_points``
+    points — same centers, disjoint samples.
+    """
+    if num_phases < 1:
+        raise ValueError("num_phases must be >= 1")
+    phases = []
+    for phase in range(num_phases):
+        lats, lngs = clustered_points(
+            bounds,
+            train_points + query_points,
+            seed=seed + 1009 * phase,
+            num_hotspots=num_hotspots,
+            hotspot_fraction=hotspot_fraction,
+            spread_fraction=spread_fraction,
+        )
+        phases.append(
+            DriftPhase(
+                name=f"phase-{phase}",
+                train_lats=lats[:train_points],
+                train_lngs=lngs[:train_points],
+                query_lats=lats[train_points:],
+                query_lngs=lngs[train_points:],
+            )
+        )
+    return DriftingHotspotWorkload(phases=tuple(phases))
+
+
 def venue_points(
     num_requests: int,
     bounds: Rect = NYC_BOX,

@@ -76,7 +76,7 @@ class Polygon:
     """One outer ring plus optional hole rings, with even-odd semantics."""
 
     __slots__ = ("outer", "holes", "_mbr", "_edge_cache", "_edgeset_cache",
-                 "_refine_cache")
+                 "_refine_cache", "_train_cache")
 
     def __init__(self, outer: Ring | Sequence[tuple[float, float]],
                  holes: Sequence[Ring | Sequence[tuple[float, float]]] = ()):
@@ -86,6 +86,7 @@ class Polygon:
         self._edge_cache: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None = None
         self._edgeset_cache = None  # lazily built by repro.geo.relation
         self._refine_cache = None  # lazily built by repro.geo.refine
+        self._train_cache = None  # lazily built by repro.core.training
 
     @property
     def rings(self) -> list[Ring]:

@@ -12,8 +12,11 @@ unit of work is a *request stream* rather than a point array:
 * :class:`LayerRouter` — several named polygon layers behind one service;
 * :class:`MorselExecutor` — persistent-pool morsel parallelism for large
   batches;
-* :class:`ServiceStats` — p50/p99 latency, throughput, and cache hit-rate
-  snapshots.
+* :class:`ServiceStats` — p50/p99 latency, throughput, cache hit-rate,
+  and adaptation-loop snapshots;
+* adaptation — pass an :class:`~repro.core.adaptive.AdaptationPolicy` to
+  :class:`JoinService` and layers retrain themselves on observed traffic
+  when their windowed solely-true-hit rate drifts below target.
 
 Quickstart::
 
@@ -23,6 +26,11 @@ Quickstart::
     zone_ids = service.lookup(40.72, -74.0)
 """
 
+from repro.core.adaptive import (
+    AdaptationPolicy,
+    AdaptationStatus,
+    AdaptiveController,
+)
 from repro.serve.batching import LookupRequest, MicroBatcher
 from repro.serve.cache import CachedCellStore, CacheStats, HotCellCache
 from repro.serve.executor import MorselExecutor
@@ -31,6 +39,9 @@ from repro.serve.service import JoinService
 from repro.serve.stats import LatencyRecorder, LayerStatus, ServiceStats
 
 __all__ = [
+    "AdaptationPolicy",
+    "AdaptationStatus",
+    "AdaptiveController",
     "CachedCellStore",
     "CacheStats",
     "HotCellCache",

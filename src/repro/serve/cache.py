@@ -174,24 +174,40 @@ class CachedCellStore:
     keys from the LRU, probes the underlying store once per missing key,
     and scatters the entries back to every point — so downstream decoding
     and refinement see exactly what a direct ``store.probe`` would return.
+
+    ``recorder`` is an optional telemetry sink (the adaptation loop's
+    :class:`~repro.core.adaptive.TrafficSink`): after each batch it
+    receives the unique keys, their point weights, and the resolved
+    entries — piggybacking on the dedup work the cache already did, so
+    hot-path telemetry costs no extra passes over the points.
     """
 
-    def __init__(self, store, cache: HotCellCache, key_shift: int = 0):
+    def __init__(self, store, cache: HotCellCache, key_shift: int = 0,
+                 recorder=None):
         if not 0 <= key_shift < 64:
             raise ValueError(f"key_shift must be in [0, 64), got {key_shift}")
         self.store = store
         self.cache = cache
         self.key_shift = key_shift
+        self.recorder = recorder
 
     def probe(self, query_ids: np.ndarray) -> np.ndarray:
         query_ids = np.asarray(query_ids, dtype=np.uint64)
-        if self.cache.capacity == 0 or query_ids.size == 0:
+        if query_ids.size == 0:
+            return self.store.probe(query_ids)
+        if self.cache.capacity == 0 and self.recorder is None:
             return self.store.probe(query_ids)
         keys = query_ids >> np.uint64(self.key_shift)
         unique_keys, first_index, inverse = np.unique(
             keys, return_index=True, return_inverse=True
         )
         weights = np.bincount(inverse, minlength=len(unique_keys))
+        if self.cache.capacity == 0:
+            # Caching disabled but telemetry on: probe directly and record
+            # one representative entry per key.
+            full = self.store.probe(query_ids)
+            self.recorder.record(unique_keys, weights, full[first_index])
+            return full
         cached, miss_slots = self.cache.get_many(unique_keys.tolist(), weights)
         entries = np.asarray(
             [entry if entry is not None else 0 for entry in cached],
@@ -208,6 +224,8 @@ class CachedCellStore:
                     for slot, entry in zip(miss_slots, missed.tolist())
                 ]
             )
+        if self.recorder is not None:
+            self.recorder.record(unique_keys, weights, entries)
         return entries[inverse]
 
     # Pass introspection through so `describe()`/`size_bytes` keep working.
@@ -217,7 +235,9 @@ class CachedCellStore:
         # whose __dict__ is not populated yet; delegating those through
         # ``self.store`` would recurse forever, so anything that should
         # live on the wrapper itself raises AttributeError instead.
-        if name.startswith("__") or name in ("store", "cache", "key_shift"):
+        if name.startswith("__") or name in (
+            "store", "cache", "key_shift", "recorder",
+        ):
             raise AttributeError(
                 f"{type(self).__name__!r} object has no attribute {name!r}"
             )

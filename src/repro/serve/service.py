@@ -30,6 +30,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro.core.adaptive import AdaptationPolicy, AdaptiveController
 from repro.core.builder import ProbeView
 from repro.core.joins import JoinResult, accurate_join, approximate_join
 from repro.serve.batching import LookupRequest, MicroBatcher
@@ -67,6 +68,13 @@ class JoinService:
     num_threads / morsel_size:
         Batches larger than one morsel are split across a persistent
         morsel executor when ``num_threads > 1``.
+    adaptation:
+        An :class:`~repro.core.adaptive.AdaptationPolicy` turns on the
+        self-tuning loop: refinement telemetry rides the hot-cell cache's
+        key computation, and layers whose windowed solely-true-hit rate
+        drops below the policy target are retrained on the observed
+        traffic in the background and swapped in without downtime.
+        ``None`` (default) disables telemetry and retraining entirely.
     """
 
     def __init__(
@@ -80,11 +88,17 @@ class JoinService:
         num_threads: int = 1,
         morsel_size: int = 1 << 14,
         latency_window: int = 8192,
+        adaptation: AdaptationPolicy | None = None,
     ):
         if not isinstance(layers, Mapping):
             layers = {DEFAULT_LAYER: layers}
         self._router = LayerRouter(layers, default=default_layer)
         self._cache_cells = cache_cells
+        self._adaptive = (
+            AdaptiveController(adaptation, swap=self.swap_layer)
+            if adaptation is not None
+            else None
+        )
         self._attach_lock = threading.Lock()
         # Caches and cached stores are keyed by (layer, version): a swap or
         # a dynamic-index mutation bumps the version, so stale entries are
@@ -104,13 +118,28 @@ class JoinService:
         self._closed = False
 
     def _attach_view(self, name: str, view: ProbeView) -> CachedCellStore:
-        """Build the (layer, version) cache pair for one probe view."""
+        """Build the (layer, version) cache pair for one probe view.
+
+        The cache-key shift is stamped from this view's own maximum cell
+        level: any mutation that can deepen the indexed cells (a delta
+        insert, a training split) bumps the version and re-attaches, so a
+        truncated key is always at least as deep as the generation it
+        serves (see the key-soundness regression tests in
+        ``tests/test_adaptive.py``).
+        """
         key = (name, view.version)
         cache = HotCellCache(self._cache_cells)
+        key_shift = key_shift_for_level(view.max_cell_level)
+        recorder = (
+            self._adaptive.sink_for(name, view.lookup_table, key_shift)
+            if self._adaptive is not None
+            else None
+        )
         store = CachedCellStore(
             view.store,
             cache,
-            key_shift=key_shift_for_level(view.max_cell_level),
+            key_shift=key_shift,
+            recorder=recorder,
         )
         self._caches[key] = cache
         self._stores[key] = store
@@ -339,12 +368,19 @@ class JoinService:
             self._executor is not None
             and len(cell_ids) > self._executor.morsel_size
         ):
-            return self._dispatch_morsels(
+            result = self._dispatch_morsels(
                 store, view, cell_ids, lats, lngs, exact, materialize
             )
-        return self._join_chunk(
-            store, view, cell_ids, lats, lngs, exact, materialize
-        )
+        else:
+            result = self._join_chunk(
+                store, view, cell_ids, lats, lngs, exact, materialize
+            )
+        if self._adaptive is not None:
+            # The probes above already fed the telemetry through the
+            # cached store's recorder; this is only the (cheap) trigger
+            # check that may kick off a background retrain.
+            self._adaptive.after_dispatch(name, index)
+        return result
 
     def _join_chunk(
         self,
@@ -435,9 +471,15 @@ class JoinService:
     # Observability & lifecycle
     # ------------------------------------------------------------------
 
+    @property
+    def adaptation(self) -> AdaptiveController | None:
+        """The adaptation controller, or ``None`` when self-tuning is off."""
+        return self._adaptive
+
     def stats(self) -> ServiceStats:
         """Immutable snapshot: latency percentiles, throughput, cache,
-        plus each layer's live version and pending delta size."""
+        each layer's live version and pending delta size, plus the
+        adaptation loop's windowed STH rate and retrain counters."""
         with self._attach_lock:  # add/swap may be mutating the dicts
             caches = dict(self._caches)
         cache_stats: dict[str, CacheStats] = {
@@ -450,7 +492,8 @@ class JoinService:
                 delta_size=int(getattr(index, "delta_size", 0)),
                 num_polygons=index.num_polygons,
             )
-        return self._recorder.snapshot(cache_stats, layer_status)
+        adaptation = self._adaptive.status() if self._adaptive is not None else {}
+        return self._recorder.snapshot(cache_stats, layer_status, adaptation)
 
     def _check_open(self) -> None:
         if self._closed:
@@ -464,6 +507,8 @@ class JoinService:
         self._batcher.close()
         if self._executor is not None:
             self._executor.close()
+        if self._adaptive is not None:
+            self._adaptive.close()
 
     def __enter__(self) -> "JoinService":
         return self

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.adaptive import AdaptationStatus
 from repro.serve.cache import CacheStats
 
 
@@ -43,6 +44,7 @@ class ServiceStats:
     throughput_pps: float  # points per busy second, lifetime
     cache: dict[str, CacheStats] = field(default_factory=dict)
     layers: dict[str, LayerStatus] = field(default_factory=dict)
+    adaptation: dict[str, AdaptationStatus] = field(default_factory=dict)
 
     @property
     def mean_batch_size(self) -> float:
@@ -58,6 +60,28 @@ class ServiceStats:
         if requests == 0:
             return 0.0
         return hits / requests
+
+    @property
+    def live_sth_rate(self) -> float:
+        """Point-weighted windowed solely-true-hit rate across layers.
+
+        The live analog of the paper's Table 7 metric: the fraction of
+        recently probed points that skipped the refinement phase.  ``1.0``
+        when adaptation telemetry is off or no points are in any window.
+        """
+        points = sum(s.window_points for s in self.adaptation.values())
+        if points == 0:
+            return 1.0
+        weighted = sum(
+            s.window_sth_rate * s.window_points
+            for s in self.adaptation.values()
+        )
+        return weighted / points
+
+    @property
+    def retrains(self) -> int:
+        """Completed adaptation retrains across all layers."""
+        return sum(s.retrains_completed for s in self.adaptation.values())
 
 
 class LatencyRecorder:
@@ -88,6 +112,7 @@ class LatencyRecorder:
         self,
         cache: dict[str, CacheStats] | None = None,
         layers: dict[str, LayerStatus] | None = None,
+        adaptation: dict[str, AdaptationStatus] | None = None,
     ) -> ServiceStats:
         with self._lock:
             samples = np.asarray(self._samples, dtype=np.float64)
@@ -115,4 +140,5 @@ class LatencyRecorder:
             throughput_pps=throughput,
             cache=dict(cache or {}),
             layers=dict(layers or {}),
+            adaptation=dict(adaptation or {}),
         )

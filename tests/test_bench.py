@@ -20,6 +20,10 @@ def tiny_workbench():
         training_points=(1_000, 2_000),
         slow_baseline_points=2_000,
         max_texture=256,
+        adapt_train_points=4_000,
+        adapt_query_points=8_000,
+        adapt_batch=2_048,
+        adapt_speedup_points=1_500,
     )
     return Workbench(config)
 
@@ -152,6 +156,16 @@ class TestMainEntry:
 
         with pytest.raises(SystemExit):
             main(["nonsense", "--results-dir", str(tmp_path)])
+
+
+class TestAdaptRunner:
+    def test_adapt_completes_at_tiny_scale(self, tiny_workbench):
+        from repro.bench import adapt_bench
+
+        (result,) = adapt_bench.run(tiny_workbench)
+        assert len(result.rows) == 4  # 2 phases x 2 services
+        assert any("bit-identical" in note for note in result.notes)
+        assert any("vectorized training" in note for note in result.notes)
 
 
 class TestChurnRunner:

@@ -220,3 +220,48 @@ class TestChurnWorkload:
         got = dyn.join(workload.probe_lats, workload.probe_lngs, exact=True)
         want = fresh.join(workload.probe_lats, workload.probe_lngs, exact=True)
         assert (got.counts[dyn.live_polygon_ids] == want.counts).all()
+
+
+class TestDriftingHotspotWorkload:
+    def test_deterministic_and_shaped(self):
+        from repro.datasets import drifting_hotspot_workload
+
+        first = drifting_hotspot_workload(
+            num_phases=3, train_points=500, query_points=700, seed=11
+        )
+        second = drifting_hotspot_workload(
+            num_phases=3, train_points=500, query_points=700, seed=11
+        )
+        assert len(first.phases) == 3
+        for a, b in zip(first.phases, second.phases):
+            assert len(a.train_lats) == 500 and len(a.query_lats) == 700
+            assert (a.train_lats == b.train_lats).all()
+            assert (a.query_lngs == b.query_lngs).all()
+
+    def test_hotspots_actually_move(self):
+        import numpy as np
+
+        from repro.datasets import drifting_hotspot_workload
+
+        workload = drifting_hotspot_workload(
+            num_phases=2, train_points=4000, query_points=100, seed=13
+        )
+        p0, p1 = workload.phases
+        # The dominant hotspot (median of the clustered mass) relocates.
+        drift_lng = abs(np.median(p0.train_lngs) - np.median(p1.train_lngs))
+        drift_lat = abs(np.median(p0.train_lats) - np.median(p1.train_lats))
+        assert max(drift_lng, drift_lat) > 0.005
+
+    def test_history_and_stream_share_hotspots(self):
+        import numpy as np
+
+        from repro.datasets import drifting_hotspot_workload
+
+        workload = drifting_hotspot_workload(
+            num_phases=1, train_points=5000, query_points=5000, seed=17
+        )
+        phase = workload.phases[0]
+        # Same hotspot process: the clustered medians nearly coincide...
+        assert abs(np.median(phase.train_lngs) - np.median(phase.query_lngs)) < 0.01
+        # ...but the samples are disjoint draws.
+        assert not np.array_equal(phase.train_lats[:100], phase.query_lats[:100])

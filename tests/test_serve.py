@@ -222,6 +222,92 @@ class TestMicroBatching:
             assert f.result(timeout=10) is not None
 
 
+class TestMicroBatcherEdges:
+    """Edge coverage of the batcher itself (no service on top)."""
+
+    def test_close_drains_already_queued_requests(self):
+        # Requests stack up while a flush is stuck; close() must still
+        # dispatch every one of them before joining the thread.
+        release = threading.Event()
+        flushed: list[LookupRequest] = []
+
+        def slow_flush(layer, exact, requests):
+            release.wait(timeout=30)
+            flushed.extend(requests)
+            for request in requests:
+                request.future.set_result(len(requests))
+
+        batcher = MicroBatcher(slow_flush, max_batch=4, max_wait_ms=0.0)
+        futures = [batcher.submit(LookupRequest(40.7, -74.0)) for _ in range(13)]
+        release.set()
+        batcher.close()
+        assert len(flushed) == 13
+        for future in futures:
+            assert future.result(timeout=1) >= 1
+        # A post-close submit is refused, not silently dropped.
+        with pytest.raises(RuntimeError, match="closed"):
+            batcher.submit(LookupRequest(40.7, -74.0))
+
+    def test_cancelled_future_skipped_without_poisoning_batch(self):
+        # A client-cancelled request must be excluded from the flush (its
+        # future can no longer accept a result) while its batchmates are
+        # answered normally.
+        seen: list[int] = []
+
+        def flush(layer, exact, requests):
+            seen.append(len(requests))
+            for request in requests:
+                request.future.set_result("ok")
+
+        with MicroBatcher(flush, max_batch=8, max_wait_ms=200.0) as batcher:
+            doomed = batcher.submit(LookupRequest(40.7, -74.0))
+            alive = batcher.submit(LookupRequest(40.71, -74.01))
+            assert doomed.cancel()
+            assert alive.result(timeout=10) == "ok"
+        assert seen == [1]  # the cancelled request never reached the flush
+        assert doomed.cancelled()
+
+    def test_all_cancelled_batch_flushes_nothing(self):
+        calls: list[int] = []
+
+        def flush(layer, exact, requests):
+            calls.append(len(requests))
+
+        with MicroBatcher(flush, max_batch=8, max_wait_ms=200.0) as batcher:
+            first = batcher.submit(LookupRequest(40.7, -74.0))
+            second = batcher.submit(LookupRequest(40.71, -74.01))
+            assert first.cancel() and second.cancel()
+        assert calls == []
+        assert batcher.batches_dispatched == 0
+
+    def test_flush_exception_reaches_every_waiter(self):
+        def broken_flush(layer, exact, requests):
+            raise RuntimeError("store melted")
+
+        with MicroBatcher(broken_flush, max_batch=16, max_wait_ms=100.0) as batcher:
+            futures = [
+                batcher.submit(LookupRequest(40.7 + i * 1e-4, -74.0))
+                for i in range(5)
+            ]
+            for future in futures:
+                with pytest.raises(RuntimeError, match="store melted"):
+                    future.result(timeout=10)
+
+    def test_flush_exception_spares_already_resolved_futures(self):
+        # A flush that answers some futures and then dies must not
+        # overwrite the delivered results, only fail the remaining ones.
+        def half_flush(layer, exact, requests):
+            requests[0].future.set_result("delivered")
+            raise RuntimeError("died halfway")
+
+        with MicroBatcher(half_flush, max_batch=4, max_wait_ms=150.0) as batcher:
+            first = batcher.submit(LookupRequest(40.7, -74.0))
+            second = batcher.submit(LookupRequest(40.71, -74.01))
+            assert first.result(timeout=10) == "delivered"
+            with pytest.raises(RuntimeError, match="died halfway"):
+                second.result(timeout=10)
+
+
 class TestHotCellCache:
     def test_lru_eviction_order(self):
         cache = HotCellCache(capacity=2)
@@ -278,7 +364,7 @@ class TestHotCellCache:
     def test_key_shift_groups_by_ancestor(self):
         # Leaves under the same level-D ancestor share a key; leaves under
         # sibling ancestors do not.
-        from repro.cells import CellId, LatLng
+        from repro.cells import CellId
 
         level = 20
         shift = key_shift_for_level(level)

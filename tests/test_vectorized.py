@@ -4,7 +4,6 @@ scalar one."""
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
-from hypothesis.extra import numpy as hnp
 
 from repro.cells import CellId, cell_ids_from_lat_lng_arrays
 from repro.cells.vectorized import (
@@ -89,3 +88,91 @@ class TestStages:
         for k in range(0, 200, 13):
             expected = CellId.from_face_ij(int(faces[k]), int(i[k]), int(j[k]))
             assert int(ids[k]) == expected.id
+
+
+class TestFaceIjDecode:
+    """face_ij_from_leaf_ids must invert the vectorized encode exactly."""
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.floats(min_value=-89.9, max_value=89.9),
+        st.floats(min_value=-179.9, max_value=179.9),
+    )
+    def test_roundtrip_single(self, lat, lng):
+        from repro.cells.vectorized import face_ij_from_leaf_ids
+
+        leaf = CellId.from_degrees(lat, lng)
+        face, i, j = face_ij_from_leaf_ids(
+            np.asarray([leaf.id], dtype=np.uint64)
+        )
+        assert (int(face[0]), int(i[0]), int(j[0])) == leaf.to_face_ij()
+
+    def test_batch_matches_scalar_decode(self, rng):
+        from repro.cells.vectorized import face_ij_from_leaf_ids
+
+        lats = rng.uniform(-89, 89, 4000)
+        lngs = rng.uniform(-180, 180, 4000)
+        ids = cell_ids_from_lat_lng_arrays(lats, lngs)
+        face, i, j = face_ij_from_leaf_ids(ids)
+        for k in range(0, 4000, 97):
+            assert CellId(int(ids[k])).to_face_ij() == (
+                int(face[k]), int(i[k]), int(j[k])
+            )
+
+    def test_encode_decode_roundtrip_arrays(self, rng):
+        from repro.cells.vectorized import face_ij_from_leaf_ids
+
+        lats = rng.uniform(-89, 89, 2000)
+        lngs = rng.uniform(-180, 180, 2000)
+        ids = cell_ids_from_lat_lng_arrays(lats, lngs)
+        face, i, j = face_ij_from_leaf_ids(ids)
+        again = leaf_ids_from_face_ij(face, i, j)
+        assert np.array_equal(again, ids)
+
+
+class TestBoundRectsForCellIds:
+    """The batched bound-rect path vs the scalar one (conservative pad)."""
+
+    def test_matches_scalar_rects(self, rng):
+        from repro.cells.cell import bound_rects_for_cell_ids, cell_bound_rect
+
+        lats = rng.uniform(-85, 85, 120)
+        lngs = rng.uniform(-179, 179, 120)
+        ids = cell_ids_from_lat_lng_arrays(lats, lngs)
+        cells = [
+            CellId(int(raw)).parent(level)
+            for raw in ids[:40]
+            for level in (6, 12, 20, 27, 30)
+        ]
+        raw_ids = np.asarray([cell.id for cell in cells], dtype=np.uint64)
+        lng_lo, lng_hi, lat_lo, lat_hi = bound_rects_for_cell_ids(raw_ids)
+        for n, cell in enumerate(cells):
+            rect = cell_bound_rect(cell)
+            # Identical up to trig rounding, far below the bulge pad.
+            assert abs(rect.lng_lo - lng_lo[n]) < 1e-9
+            assert abs(rect.lng_hi - lng_hi[n]) < 1e-9
+            assert abs(rect.lat_lo - lat_lo[n]) < 1e-9
+            assert abs(rect.lat_hi - lat_hi[n]) < 1e-9
+
+    def test_pole_and_antimeridian_fallbacks(self):
+        from repro.cells.cell import bound_rects_for_cell_ids, cell_bound_rect
+
+        cells = [
+            CellId.from_degrees(89.99, 0.0).parent(2),  # north face center
+            CellId.from_degrees(-89.99, 0.0).parent(2),  # south face center
+            CellId.from_degrees(0.0, 179.99).parent(3),  # near antimeridian
+        ]
+        raw_ids = np.asarray([cell.id for cell in cells], dtype=np.uint64)
+        lng_lo, lng_hi, lat_lo, lat_hi = bound_rects_for_cell_ids(raw_ids)
+        for n, cell in enumerate(cells):
+            rect = cell_bound_rect(cell)
+            assert abs(rect.lng_lo - lng_lo[n]) < 1e-9
+            assert abs(rect.lng_hi - lng_hi[n]) < 1e-9
+            assert abs(rect.lat_lo - lat_lo[n]) < 1e-9
+            assert abs(rect.lat_hi - lat_hi[n]) < 1e-9
+
+    def test_empty_input(self):
+        from repro.cells.cell import bound_rects_for_cell_ids
+
+        out = bound_rects_for_cell_ids(np.zeros(0, dtype=np.uint64))
+        assert all(len(a) == 0 for a in out)
