@@ -58,7 +58,7 @@ from repro.serve import (
     ServiceStats,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "CellId",

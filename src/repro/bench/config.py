@@ -70,6 +70,12 @@ class BenchConfig:
     #: Adaptation benchmark: training-speedup measurement set size
     #: (acceptance: vectorized >= 5x the per-point loop at 100 k points).
     adapt_speedup_points: int = 100_000
+    #: Sharding benchmark: probe points streamed through every service.
+    shard_points: int = 400_000
+    #: Sharding benchmark: batch size per front dispatch.
+    shard_batch: int = 65_536
+    #: Sharding benchmark: shard-count sweep (process backend).
+    shard_counts: tuple[int, ...] = (1, 2, 4, 8)
     #: Base RNG seed for every generator.
     seed: int = 42
 
@@ -100,6 +106,9 @@ class BenchConfig:
             adapt_query_points=40_000,
             adapt_batch=4_096,
             adapt_speedup_points=10_000,
+            shard_points=60_000,
+            shard_batch=16_384,
+            shard_counts=(1, 2),
         )
 
     @staticmethod

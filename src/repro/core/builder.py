@@ -224,6 +224,58 @@ def build_pipeline(
     )
 
 
+def build_partition_index(
+    num_polygons: int,
+    members: dict[int, Polygon],
+    cells: dict[int, tuple],
+    *,
+    precision_meters: float | None = None,
+    fanout_bits: int = 8,
+    version: int | None = None,
+) -> "PolygonIndex":
+    """Build one spatial partition of an index as a standalone index.
+
+    The partition-aware tail of the build pipeline: ``cells`` is a subset
+    of an already-built super covering (its cells are disjoint by
+    construction, so no coverer or conflict resolution runs — only the
+    store build), and ``members`` maps the polygon ids referenced by
+    those cells to their geometry.  The resulting index keeps the GLOBAL
+    id space: ``polygons`` has ``num_polygons`` slots with ``None`` holes
+    for polygons living in other partitions, so per-partition
+    ``JoinResult``s merge by plain summation and emitted pair ids need no
+    translation.
+
+    Probing the partition is bit-identical to probing the full index for
+    any point whose leaf id falls inside the partition's cell ranges —
+    the cells and their reference sets are untouched.
+
+    ``version`` stamps the given version (the parent snapshot's, so every
+    partition of one snapshot agrees) and floors the local version
+    counter above it, keeping later locally-built snapshots (shard-local
+    retrains) strictly newer; ``None`` stamps a fresh local version.
+    """
+    if version is not None:
+        ensure_version_floor(version)
+    super_covering = SuperCovering.from_raw(cells)
+    with Timer() as store_timer:
+        store, lookup_table = build_store(
+            super_covering, fanout_bits=fanout_bits
+        )
+    polygons: list[Polygon | None] = [
+        members.get(pid) for pid in range(num_polygons)
+    ]
+    return PolygonIndex(
+        polygons,
+        super_covering,
+        store,
+        lookup_table,
+        BuildTimings(store_build_seconds=store_timer.seconds),
+        precision_meters,
+        None,
+        version=version,
+    )
+
+
 @dataclass(frozen=True)
 class ProbeView:
     """One immutable, internally consistent probe snapshot of an index.

@@ -82,6 +82,24 @@ class SuperCovering:
         clone._sorted_ids = list(self._sorted_ids)
         return clone
 
+    @classmethod
+    def from_raw(
+        cls, raw: Mapping[int, Sequence[PolygonRef]]
+    ) -> "SuperCovering":
+        """Rebuild a covering from an ``id -> refs`` mapping.
+
+        The caller asserts the cells are already disjoint — they came out
+        of an existing covering (a serialized file, or one spatial
+        partition of a live covering shipped to a shard worker) — so no
+        conflict resolution runs; this is a plain re-index.
+        """
+        covering = cls()
+        covering._refs = {
+            int(raw_id): tuple(refs) for raw_id, refs in raw.items()
+        }
+        covering._sorted_ids = sorted(covering._refs)
+        return covering
+
     def find_containing(self, leaf_id: int) -> tuple[CellId, tuple[PolygonRef, ...]] | None:
         """The unique cell containing a leaf id, or None (walks ancestors)."""
         cell = CellId(leaf_id)

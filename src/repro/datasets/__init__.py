@@ -35,6 +35,7 @@ from repro.datasets.workloads import (
     drifting_hotspot_workload,
     polygon_churn_workload,
     polygon_dataset,
+    shard_probe_points,
     taxi_points,
     twitter_points,
     twitter_polygons,
@@ -59,6 +60,7 @@ __all__ = [
     "drifting_hotspot_workload",
     "polygon_churn_workload",
     "polygon_dataset",
+    "shard_probe_points",
     "taxi_points",
     "twitter_points",
     "twitter_polygons",

@@ -313,6 +313,31 @@ def drifting_hotspot_workload(
     return DriftingHotspotWorkload(phases=tuple(phases))
 
 
+def shard_probe_points(
+    num_points: int,
+    bounds: Rect = NYC_BOX,
+    num_hotspots: int = 16,
+    seed: int = 2026,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Probe-heavy skewed stream for the sharding benchmark.
+
+    Like the taxi stream, most traffic concentrates in hotspots — but
+    across *many* of them (16 by default, vs. the taxi stream's 4), so a
+    Hilbert-range partition of the city sees skew WITHIN every shard
+    without the whole stream collapsing onto one shard.  That is the
+    regime share-nothing sharding targets: every worker busy, each on
+    its own hot cells.
+    """
+    return clustered_points(
+        bounds,
+        num_points,
+        seed=seed,
+        num_hotspots=num_hotspots,
+        hotspot_fraction=0.90,
+        spread_fraction=0.04,
+    )
+
+
 def venue_points(
     num_requests: int,
     bounds: Rect = NYC_BOX,

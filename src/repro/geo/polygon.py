@@ -122,6 +122,20 @@ class Polygon:
             area -= abs(hole.signed_area())
         return area
 
+    def __getstate__(self) -> tuple[Ring, list[Ring]]:
+        """Pickle only the geometry, never the lazy caches.
+
+        The derived caches (edge arrays, edge sets, refinement
+        accelerators, training classifiers) are all recomputable and can
+        dwarf the vertex data; dropping them keeps spawn-shipped shard
+        payloads lean and avoids pickling accelerator internals.
+        """
+        return self.outer, self.holes
+
+    def __setstate__(self, state: tuple[Ring, list[Ring]]) -> None:
+        outer, holes = state
+        self.__init__(outer, holes)
+
     def __repr__(self) -> str:
         return f"Polygon({self.outer.num_vertices} outer vertices, {len(self.holes)} holes)"
 

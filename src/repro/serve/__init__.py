@@ -12,8 +12,12 @@ unit of work is a *request stream* rather than a point array:
 * :class:`LayerRouter` — several named polygon layers behind one service;
 * :class:`MorselExecutor` — persistent-pool morsel parallelism for large
   batches;
+* :class:`ShardedJoinService` / :class:`ShardPlan` — share-nothing
+  multi-process sharding by Hilbert cell-id range: one worker process
+  (and one ``JoinService``) per spatial partition, batches scattered
+  through shared memory and merged bit-identically;
 * :class:`ServiceStats` — p50/p99 latency, throughput, cache hit-rate,
-  and adaptation-loop snapshots;
+  adaptation-loop snapshots, and per-shard detail;
 * adaptation — pass an :class:`~repro.core.adaptive.AdaptationPolicy` to
   :class:`JoinService` and layers retrain themselves on observed traffic
   when their windowed solely-true-hit rate drifts below target.
@@ -36,7 +40,13 @@ from repro.serve.cache import CachedCellStore, CacheStats, HotCellCache
 from repro.serve.executor import MorselExecutor
 from repro.serve.router import JoinableIndex, LayerRouter
 from repro.serve.service import JoinService
-from repro.serve.stats import LatencyRecorder, LayerStatus, ServiceStats
+from repro.serve.sharded import ShardedJoinService, ShardPlan, ShardWorkerError
+from repro.serve.stats import (
+    LatencyRecorder,
+    LayerStatus,
+    ServiceStats,
+    ShardStatus,
+)
 
 __all__ = [
     "AdaptationPolicy",
@@ -54,4 +64,8 @@ __all__ = [
     "MicroBatcher",
     "MorselExecutor",
     "ServiceStats",
+    "ShardPlan",
+    "ShardStatus",
+    "ShardWorkerError",
+    "ShardedJoinService",
 ]

@@ -11,6 +11,7 @@ driver does.
 from __future__ import annotations
 
 import itertools
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, TypeVar
 
@@ -40,21 +41,36 @@ class MorselExecutor:
     def map_morsels(
         self, num_items: int, work: Callable[[int, int], T]
     ) -> list[T]:
-        """Run ``work(lo, hi)`` for every morsel range; results in order."""
+        """Run ``work(lo, hi)`` for every morsel range; results in order.
+
+        Fails fast: the first worker whose ``work`` raises sets a shared
+        flag, so the other workers stop claiming morsels instead of
+        grinding through the rest of a batch whose result is already
+        doomed.  The first exception (in failure order) is re-raised.
+        """
         num_morsels = (num_items + self.morsel_size - 1) // self.morsel_size
         if num_morsels <= 1:
             return [work(0, num_items)] if num_items else []
         counter = itertools.count()  # the shared atomic morsel counter
         results: list[T | None] = [None] * num_morsels
+        failed = threading.Event()
+        errors: list[BaseException] = []
+        errors_lock = threading.Lock()
 
         def worker() -> None:
-            while True:
+            while not failed.is_set():
                 morsel = next(counter)
                 if morsel >= num_morsels:
                     return
                 lo = morsel * self.morsel_size
                 hi = min(lo + self.morsel_size, num_items)
-                results[morsel] = work(lo, hi)
+                try:
+                    results[morsel] = work(lo, hi)
+                except BaseException as exc:
+                    with errors_lock:
+                        errors.append(exc)
+                    failed.set()
+                    return
 
         futures = [
             self._pool.submit(worker)
@@ -62,6 +78,8 @@ class MorselExecutor:
         ]
         for future in futures:
             future.result()
+        if errors:
+            raise errors[0]
         return results  # type: ignore[return-value]
 
     def close(self) -> None:

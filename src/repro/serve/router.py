@@ -12,6 +12,13 @@ reuses them across every routed layer.
 versioned snapshot: requests already dispatched keep the snapshot they
 resolved (it is immutable), while every later ``resolve`` sees the new
 one — the zero-downtime half of the index lifecycle.
+
+Reads are lock-free via copy-on-write: the registry dict is never mutated
+in place — ``add``/``swap`` build a fresh dict under the writer lock and
+publish it with one reference assignment.  A reader that grabbed the old
+dict keeps iterating it safely (it will never change again), so a
+concurrent ``add_layer`` during a ``join_layers`` fan-out can never raise
+``RuntimeError: dictionary changed size during iteration``.
 """
 
 from __future__ import annotations
@@ -68,6 +75,9 @@ class LayerRouter:
         default: str | None = None,
     ):
         self._lock = threading.Lock()
+        # Published registry snapshot.  NEVER mutated in place: writers
+        # replace it wholesale under self._lock (copy-on-write), readers
+        # load it once per operation and work on that immutable snapshot.
         self._layers: dict[str, JoinableIndex] = {}
         for name, index in (layers or {}).items():
             self.add(name, index)
@@ -82,7 +92,9 @@ class LayerRouter:
         with self._lock:
             if name in self._layers:
                 raise ValueError(f"layer {name!r} is already registered")
-            self._layers[name] = index
+            layers = dict(self._layers)
+            layers[name] = index
+            self._layers = layers
 
     def swap(self, name: str, index: JoinableIndex) -> JoinableIndex:
         """Atomically replace a registered layer's index; returns the old.
@@ -107,7 +119,9 @@ class LayerRouter:
                     f"refusing to swap layer {name!r} to version "
                     f"{index.version} (currently {previous.version})"
                 )
-            self._layers[name] = index
+            layers = dict(self._layers)
+            layers[name] = index
+            self._layers = layers
             return previous
 
     @property
@@ -116,10 +130,11 @@ class LayerRouter:
 
     @property
     def default(self) -> str | None:
+        layers = self._layers  # one snapshot for both the len and the peek
         if self._default is not None:
             return self._default
-        if len(self._layers) == 1:
-            return next(iter(self._layers))
+        if len(layers) == 1:
+            return next(iter(layers))
         return None
 
     def __len__(self) -> int:
@@ -130,27 +145,41 @@ class LayerRouter:
 
     def resolve(self, name: str | None = None) -> tuple[str, JoinableIndex]:
         """The ``(name, index)`` a single-layer request routes to."""
+        return self._resolve_in(self._layers, name)
+
+    def _resolve_in(
+        self, layers: dict[str, JoinableIndex], name: str | None
+    ) -> tuple[str, JoinableIndex]:
+        """Resolve against one registry snapshot (consistent fan-outs)."""
         if name is None:
-            name = self.default
+            name = self._default
+            if name is None and len(layers) == 1:
+                name = next(iter(layers))
             if name is None:
                 raise KeyError(
                     "no layer given and no default layer; choose one of "
-                    f"{list(self._layers)}"
+                    f"{list(layers)}"
                 )
         try:
-            return name, self._layers[name]
+            return name, layers[name]
         except KeyError:
             raise KeyError(
-                f"unknown layer {name!r}; registered layers: {list(self._layers)}"
+                f"unknown layer {name!r}; registered layers: {list(layers)}"
             ) from None
 
     def select(
         self, names: Sequence[str] | None = None
     ) -> list[tuple[str, JoinableIndex]]:
-        """The layers a fan-out request routes to (``None`` = all layers)."""
+        """The layers a fan-out request routes to (``None`` = all layers).
+
+        The whole fan-out resolves against ONE registry snapshot, so a
+        concurrent add/swap cannot make two names in the same request see
+        different registry states.
+        """
+        layers = self._layers
         if names is None:
-            return list(self._layers.items())
-        return [self.resolve(name) for name in names]
+            return list(layers.items())
+        return [self._resolve_in(layers, name) for name in names]
 
     def items(self) -> Iterable[tuple[str, JoinableIndex]]:
         """A point-in-time snapshot, safe to iterate during add/swap."""

@@ -283,19 +283,25 @@ class JoinService:
         layer: str | None = None,
         exact: bool = False,
         materialize: bool = False,
+        cell_ids: np.ndarray | None = None,
     ) -> JoinResult:
         """Join a point batch against one layer.
 
         Identical semantics (and bit-identical counts) to
         ``PolygonIndex.join`` on the same points, with the hot-cell cache
-        and morsel parallelism underneath.
+        and morsel parallelism underneath.  ``cell_ids`` lets a caller
+        that already computed the points' leaf cell ids (the sharded
+        front ships them alongside the coordinates) skip the recompute.
         """
         self._check_open()
         name, index = self._router.resolve(layer)
         lats = np.asarray(lats, dtype=np.float64)
         lngs = np.asarray(lngs, dtype=np.float64)
         with Timer() as timer:
-            cell_ids = index.cell_ids_for(lats, lngs)
+            if cell_ids is None:
+                cell_ids = index.cell_ids_for(lats, lngs)
+            else:
+                cell_ids = np.asarray(cell_ids, dtype=np.uint64)
             result = self._dispatch(
                 name, index, cell_ids, lats, lngs, exact, materialize
             )
@@ -482,8 +488,18 @@ class JoinService:
         adaptation loop's windowed STH rate and retrain counters."""
         with self._attach_lock:  # add/swap may be mutating the dicts
             caches = dict(self._caches)
+        # Exactly one generation per layer should remain attached, but if
+        # that invariant ever breaks (a laggard dispatch re-attaching a
+        # pre-swap view), report the NEWEST version deterministically —
+        # never let a stale generation's counters mask the live one just
+        # because it was inserted later.
+        newest: dict[str, tuple[int, HotCellCache]] = {}
+        for (name, version), cache in caches.items():
+            held = newest.get(name)
+            if held is None or version > held[0]:
+                newest[name] = (version, cache)
         cache_stats: dict[str, CacheStats] = {
-            name: cache.stats() for (name, _version), cache in caches.items()
+            name: cache.stats() for name, (_version, cache) in newest.items()
         }
         layer_status: dict[str, LayerStatus] = {}
         for name, index in self._router.items():

@@ -1,0 +1,1128 @@
+"""Share-nothing sharded serving: saturate cores past the GIL.
+
+The probe/refine join is embarrassingly parallel, but a single-process
+:class:`~repro.serve.service.JoinService` is GIL-bound on the
+Python-level portions of the probe-heavy paths.  This module partitions
+each layer *by space* and serves every partition from its own process —
+the partition-based scheme of Tsitsigkos et al. (*Parallel In-Memory
+Evaluation of Spatial Joins*) applied to the paper's cell-id domain:
+
+* :class:`ShardPlan` cuts the Hilbert curve into ``num_shards``
+  contiguous leaf-id ranges, balancing on covering-cell counts (each
+  (cell, polygon-ref) entry is one unit of probe/refine work).  The
+  super covering's cells are disjoint, so every cell — and therefore
+  every point probing it — belongs to exactly one shard, while a
+  *polygon* whose covering straddles a cut is replicated into every
+  shard it touches.  Replication changes no reference set, so sharded
+  results are bit-identical to the unsharded join by construction.
+* A **shard worker** is a spawned process hosting one ordinary
+  :class:`JoinService` over its partition sub-indexes (built worker-side
+  from the shipped covering cells via
+  :func:`~repro.core.builder.build_partition_index` — the coverer never
+  re-runs).  Batch coordinates travel through
+  ``multiprocessing.shared_memory`` buffers, never the pickle stream;
+  only the control messages and the (small) partial ``JoinResult``
+  statistics cross the pipe.
+* :class:`ShardedJoinService` is the front: it computes leaf cell ids
+  once, scatters each batch to the owning shards, gathers the partial
+  results, and merges them with the same wall-time apportioning as the
+  morsel merge.  It exposes the same ``join`` / ``join_layers`` /
+  ``lookup`` / ``submit`` / ``stats`` / ``swap_layer`` surface as
+  ``JoinService``; swaps and workload-adaptive retraining fan out per
+  shard, and the merged :class:`~repro.serve.stats.ServiceStats` carries
+  per-shard detail in ``stats.shards``.
+
+``backend="inline"`` hosts the per-shard services in the calling process
+instead (no processes, no shared memory) — same partitioning, same
+scatter/gather, same merge — which is what the shard-boundary
+equivalence tests exercise exhaustively and what debugging uses.
+
+The front serializes scatter/gather dispatches with one lock (a worker
+pipe is not safe for interleaved use anyway); parallelism comes from
+splitting each batch across the shard processes, not from overlapping
+front-side dispatches.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from dataclasses import dataclass
+from multiprocessing import get_context
+from multiprocessing.shared_memory import SharedMemory
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.cells.vectorized import (
+    cell_ids_from_lat_lng_arrays,
+    range_bounds_from_cell_ids,
+)
+from repro.core.adaptive import AdaptationPolicy
+from repro.core.builder import (
+    PolygonIndex,
+    build_partition_index,
+    ensure_version_floor,
+)
+from repro.core.joins import JoinResult
+from repro.geo.polygon import Polygon
+from repro.serve.batching import LookupRequest, MicroBatcher
+from repro.serve.cache import CacheStats
+from repro.serve.router import LayerRouter
+from repro.serve.service import DEFAULT_LAYER, JoinService
+from repro.serve.stats import (
+    LatencyRecorder,
+    LayerStatus,
+    ServiceStats,
+    ShardStatus,
+)
+from repro.util.timing import Timer
+
+
+class ShardWorkerError(RuntimeError):
+    """A shard worker failed; carries the worker-side traceback text."""
+
+    def __init__(self, shard: int, detail: str):
+        super().__init__(f"shard {shard} failed:\n{detail}")
+        self.shard = shard
+        self.detail = detail
+
+
+# ----------------------------------------------------------------------
+# The shard plan: Hilbert cell-id range partitioning
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A partition of one layer's covering into leaf-id ranges.
+
+    ``boundaries`` holds ``num_shards - 1`` leaf-id cut points; shard
+    ``s`` owns the half-open leaf range ``[boundaries[s-1],
+    boundaries[s])`` (unbounded at the ends).  Cut points are the
+    ``range_min`` of the cell they start, so every covering cell — whose
+    leaf range never straddles a cut by disjointness — lands wholly in
+    one shard.  Duplicate cut points are allowed (a pathologically hot
+    cell can exceed a whole shard's weight share); the shards they
+    collapse simply stay empty, keeping shard ids stable in
+    ``[0, num_shards)``.
+    """
+
+    num_shards: int
+    boundaries: np.ndarray  # (num_shards - 1,) uint64 leaf-id cut points
+    members: tuple[tuple[int, ...], ...]  # polygon ids per shard
+    cells: tuple[dict[int, tuple], ...]  # covering subset per shard
+    cell_weights: tuple[int, ...]  # (cell, ref) entries per shard
+
+    @classmethod
+    def from_index(cls, index: PolygonIndex, num_shards: int) -> "ShardPlan":
+        """Plan ``num_shards`` partitions of a built index's covering.
+
+        Weights each cell by its reference count (one (cell, ref) entry
+        is one unit of probe decode + potential refinement work) and
+        cuts the id-sorted cell sequence at the weighted quantiles.
+        """
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        raw = index.super_covering.raw_items()
+        ids = np.fromiter(raw.keys(), dtype=np.uint64, count=len(raw))
+        ids.sort()
+        weights = np.fromiter(
+            (len(raw[int(i)]) for i in ids), dtype=np.int64, count=len(ids)
+        )
+        lo, hi = range_bounds_from_cell_ids(ids)
+        if num_shards == 1 or len(ids) == 0:
+            boundaries = np.zeros(0, dtype=np.uint64)
+        else:
+            cumulative = np.cumsum(weights)
+            total = int(cumulative[-1])
+            cuts = []
+            for k in range(1, num_shards):
+                target = total * k / num_shards
+                idx = int(np.searchsorted(cumulative, target, side="left"))
+                idx = min(idx, len(ids) - 1)
+                cuts.append(int(lo[idx]))
+            boundaries = np.asarray(sorted(cuts), dtype=np.uint64)
+        if boundaries.size:
+            shard_of_cell = np.searchsorted(boundaries, lo, side="right")
+            # Disjointness guarantees a cell's whole leaf range falls on
+            # one side of every cut (cuts are range_min values of cells).
+            hi_side = np.searchsorted(boundaries, hi, side="right")
+            if not np.array_equal(hi_side, shard_of_cell):
+                raise AssertionError(
+                    "shard cut splits a covering cell's leaf range; "
+                    "the covering is not disjoint"
+                )
+        else:
+            shard_of_cell = np.zeros(len(ids), dtype=np.int64)
+        cells: list[dict[int, tuple]] = [dict() for _ in range(num_shards)]
+        member_sets: list[set[int]] = [set() for _ in range(num_shards)]
+        for cell_id, shard in zip(ids.tolist(), shard_of_cell.tolist()):
+            refs = raw[cell_id]
+            cells[shard][cell_id] = refs
+            for ref in refs:
+                member_sets[shard].add(ref.polygon_id)
+        cell_weights = tuple(
+            int(sum(len(refs) for refs in shard_cells.values()))
+            for shard_cells in cells
+        )
+        return cls(
+            num_shards=num_shards,
+            boundaries=boundaries,
+            members=tuple(tuple(sorted(m)) for m in member_sets),
+            cells=tuple(cells),
+            cell_weights=cell_weights,
+        )
+
+    def shard_for(self, leaf_ids: np.ndarray) -> np.ndarray:
+        """The owning shard of each leaf cell id."""
+        leaf_ids = np.asarray(leaf_ids, dtype=np.uint64)
+        if self.boundaries.size == 0:
+            return np.zeros(len(leaf_ids), dtype=np.int64)
+        return np.searchsorted(self.boundaries, leaf_ids, side="right")
+
+
+# ----------------------------------------------------------------------
+# Worker-side: payloads, service construction, the process main loop
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _ShardPart:
+    """One layer's partition, as shipped to (or built for) one shard."""
+
+    num_polygons: int  # global polygon-table length (id space)
+    members: dict[int, Polygon]  # polygons replicated into this shard
+    cells: dict[int, tuple]  # this shard's covering subset
+    precision_meters: float | None
+    fanout_bits: int
+    version: int  # the parent snapshot's version
+
+
+@dataclass
+class _WorkerPayload:
+    """Everything one shard worker needs to build its JoinService."""
+
+    shard: int
+    parts: dict[str, _ShardPart]  # layer name -> partition
+    cache_cells: int
+    adaptation: AdaptationPolicy | None
+
+
+def _part_for(plan: ShardPlan, shard: int, index: PolygonIndex) -> _ShardPart:
+    polygons = index.polygons
+    return _ShardPart(
+        num_polygons=len(polygons),
+        members={pid: polygons[pid] for pid in plan.members[shard]},
+        cells=plan.cells[shard],
+        precision_meters=index.precision_meters,
+        fanout_bits=int(getattr(index.store, "fanout_bits", 8)),
+        version=index.version,
+    )
+
+
+def _index_from_part(part: _ShardPart, *, fresh_version: bool) -> PolygonIndex:
+    """Build the partition sub-index a part describes.
+
+    ``fresh_version=False`` stamps the parent snapshot's version (initial
+    attach / add_layer: every shard of one snapshot agrees).
+    ``fresh_version=True`` floors the local counter above the parent's
+    version and stamps a fresh one (swap: the worker's current sub-index
+    may carry a *later* local version from a shard-local adaptive
+    retrain, and the router rightly refuses rollbacks).
+    """
+    if fresh_version:
+        ensure_version_floor(part.version)
+        version = None
+    else:
+        version = part.version
+    return build_partition_index(
+        part.num_polygons,
+        part.members,
+        part.cells,
+        precision_meters=part.precision_meters,
+        fanout_bits=part.fanout_bits,
+        version=version,
+    )
+
+
+def _build_shard_service(payload: _WorkerPayload) -> JoinService:
+    layers = {
+        name: _index_from_part(part, fresh_version=False)
+        for name, part in payload.parts.items()
+    }
+    return JoinService(
+        layers,
+        cache_cells=payload.cache_cells,
+        num_threads=1,  # share-nothing: one process == one lane of work
+        adaptation=payload.adaptation,
+    )
+
+
+def _apply_admin(service: JoinService, msg: tuple) -> object:
+    """Execute one control message against a shard's JoinService.
+
+    Shared by the process worker loop and the inline backend, so both
+    backends cannot diverge in behavior.
+    """
+    op = msg[0]
+    if op == "ping":
+        return None
+    if op == "stats":
+        return service.stats()
+    if op == "swap":
+        _, name, part = msg
+        service.swap_layer(name, _index_from_part(part, fresh_version=True))
+        return None
+    if op == "add_layer":
+        _, name, part = msg
+        service.add_layer(name, _index_from_part(part, fresh_version=False))
+        return None
+    raise ValueError(f"unknown shard op: {op!r}")
+
+
+def _attach_shm(name: str) -> SharedMemory:
+    """Attach to an existing segment without adopting its lifetime.
+
+    On 3.13+ ``track=False`` keeps the attachment out of the resource
+    tracker (the segment's lifetime belongs to the front, which unlinks
+    it after the gather).  Pre-3.13 the attach registers with the
+    tracker unconditionally — harmless here, because spawned workers
+    share the front's tracker process and its cache is a set: the
+    duplicate registration collapses and the front's unlink clears it.
+    Explicitly unregistering instead would corrupt that shared cache.
+    """
+    try:
+        return SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:  # Python < 3.13: no track parameter
+        return SharedMemory(name=name)
+
+
+def _read_shm_batch(
+    shm_name: str, total: int, offset: int, count: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Copy one shard's slice out of a scatter buffer, then detach."""
+    shm = _attach_shm(shm_name)
+    try:
+        window = slice(offset, offset + count)
+        buf = shm.buf
+        lats = np.frombuffer(buf, np.float64, count=total)[window].copy()
+        lngs = np.frombuffer(buf, np.float64, count=total, offset=8 * total)[
+            window
+        ].copy()
+        cells = np.frombuffer(buf, np.uint64, count=total, offset=16 * total)[
+            window
+        ].copy()
+        del buf
+    finally:
+        shm.close()
+    return lats, lngs, cells
+
+
+def _worker_join(service: JoinService, msg: tuple) -> JoinResult:
+    _, layer, shm_name, total, offset, count, exact, materialize = msg
+    lats, lngs, cells = _read_shm_batch(shm_name, total, offset, count)
+    return service.join(
+        lats,
+        lngs,
+        layer=layer,
+        exact=exact,
+        materialize=materialize,
+        cell_ids=cells,
+    )
+
+
+def _shard_worker_main(conn, payload: _WorkerPayload) -> None:
+    """Entry point of one shard worker process (spawn-safe: module level).
+
+    Builds the partition sub-indexes and the shard's JoinService, then
+    answers control messages until ``close`` or the pipe drops.  Every
+    reply is ``("ok", value)`` or ``("err", traceback_text)`` — a failed
+    request never kills the worker, so one poisoned batch cannot take a
+    shard (and every batch it would have served) down with it.
+    """
+    try:
+        service = _build_shard_service(payload)
+    except BaseException:
+        try:
+            conn.send(("err", traceback.format_exc()))
+        finally:
+            conn.close()
+        return
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except EOFError:
+                break
+            if msg[0] == "close":
+                conn.send(("ok", None))
+                break
+            try:
+                if msg[0] == "join":
+                    reply = ("ok", _worker_join(service, msg))
+                else:
+                    reply = ("ok", _apply_admin(service, msg))
+            except BaseException:
+                reply = ("err", traceback.format_exc())
+            conn.send(reply)
+    finally:
+        service.close()
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# Front-side shard clients and scatter buffers
+# ----------------------------------------------------------------------
+
+
+class _ShmBatch:
+    """One dispatch's scatter buffer: ``lats | lngs | leaf cell ids``.
+
+    The permuted (shard-grouped) batch is written once into a shared
+    memory segment; workers read only their slice.  Coordinates never
+    enter a pickle stream.
+    """
+
+    def __init__(self, lats: np.ndarray, lngs: np.ndarray, cells: np.ndarray):
+        total = len(lats)
+        self.total = total
+        self._shm = SharedMemory(create=True, size=max(1, 24 * total))
+        buf = self._shm.buf
+        np.frombuffer(buf, np.float64, count=total)[:] = lats
+        np.frombuffer(buf, np.float64, count=total, offset=8 * total)[:] = lngs
+        np.frombuffer(buf, np.uint64, count=total, offset=16 * total)[:] = cells
+        del buf
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def close(self) -> None:
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - double close
+            pass
+
+
+class _ArrayBatch:
+    """Inline-backend stand-in for :class:`_ShmBatch` (plain arrays)."""
+
+    def __init__(self, lats: np.ndarray, lngs: np.ndarray, cells: np.ndarray):
+        self.lats = lats
+        self.lngs = lngs
+        self.cells = cells
+
+    def close(self) -> None:
+        pass
+
+
+class _ProcessShard:
+    """Front-side handle of one spawned shard worker."""
+
+    def __init__(self, ctx, payload: _WorkerPayload):
+        self.shard = payload.shard
+        parent, child = ctx.Pipe()
+        self._conn = parent
+        self._process = ctx.Process(
+            target=_shard_worker_main,
+            args=(child, payload),
+            name=f"repro-shard-{payload.shard}",
+            daemon=True,
+        )
+        self._process.start()
+        child.close()
+
+    def start(self, msg: tuple) -> None:
+        try:
+            self._conn.send(msg)
+        except (BrokenPipeError, OSError) as exc:
+            raise ShardWorkerError(
+                self.shard, f"worker pipe closed: {exc}"
+            ) from None
+
+    def start_join(
+        self,
+        layer: str,
+        batch: _ShmBatch,
+        offset: int,
+        count: int,
+        exact: bool,
+        materialize: bool,
+    ) -> None:
+        self.start(
+            ("join", layer, batch.name, batch.total, offset, count, exact,
+             materialize)
+        )
+
+    def finish(self) -> object:
+        try:
+            kind, value = self._conn.recv()
+        except (EOFError, OSError):
+            raise ShardWorkerError(
+                self.shard, "worker terminated unexpectedly"
+            ) from None
+        if kind == "err":
+            raise ShardWorkerError(self.shard, value)
+        return value
+
+    def request(self, msg: tuple) -> object:
+        self.start(msg)
+        return self.finish()
+
+    def close(self) -> None:
+        try:
+            self._conn.send(("close",))
+            self._conn.recv()
+        except (BrokenPipeError, EOFError, OSError):
+            pass
+        self._conn.close()
+        self._process.join(timeout=10)
+        if self._process.is_alive():  # pragma: no cover - hung worker
+            self._process.terminate()
+            self._process.join(timeout=10)
+
+
+class _InlineShard:
+    """In-process shard client: same partitioning, no processes.
+
+    The test backend (and a debugging aid): hosts the shard's
+    JoinService in the calling process, so the shard-boundary
+    equivalence properties can run thousands of examples without paying
+    process spawns, while exercising the exact scatter/gather/merge path
+    the process backend uses.
+    """
+
+    def __init__(self, payload: _WorkerPayload):
+        self.shard = payload.shard
+        self._service = _build_shard_service(payload)
+        self._pending: tuple[str, object] | None = None
+
+    def start(self, msg: tuple) -> None:
+        try:
+            self._pending = ("ok", _apply_admin(self._service, msg))
+        except BaseException as exc:
+            self._pending = ("err", exc)
+
+    def start_join(
+        self,
+        layer: str,
+        batch: _ArrayBatch,
+        offset: int,
+        count: int,
+        exact: bool,
+        materialize: bool,
+    ) -> None:
+        window = slice(offset, offset + count)
+        try:
+            result = self._service.join(
+                batch.lats[window],
+                batch.lngs[window],
+                layer=layer,
+                exact=exact,
+                materialize=materialize,
+                cell_ids=batch.cells[window],
+            )
+        except BaseException as exc:
+            self._pending = ("err", exc)
+        else:
+            self._pending = ("ok", result)
+
+    def finish(self) -> object:
+        assert self._pending is not None, "finish() without a start()"
+        kind, value = self._pending
+        self._pending = None
+        if kind == "err":
+            raise value  # type: ignore[misc]
+        return value
+
+    def request(self, msg: tuple) -> object:
+        self.start(msg)
+        return self.finish()
+
+    def close(self) -> None:
+        self._service.close()
+
+
+def _scatter_gather(
+    sends: list[tuple["_ProcessShard | _InlineShard", object]],
+) -> tuple[list[tuple[int, object]], list[BaseException]]:
+    """Send every request, then drain every worker that received one.
+
+    ``sends`` is a list of ``(client, send_callable)`` pairs.  The drain
+    discipline is the pipe-alignment invariant of the whole front: a
+    worker that received a request MUST be drained even after another
+    worker failed (and workers after a failed SEND must not be sent to),
+    or a queued reply would be mistaken for the answer to a later
+    request.  Returns ``(gathered, errors)``: ``gathered`` holds
+    ``(slot, value)`` pairs for the sends that completed (slots index
+    into ``sends``, in order), ``errors`` every send/finish failure in
+    occurrence order.
+    """
+    sent: list[tuple[int, object]] = []
+    errors: list[BaseException] = []
+    for slot, (client, send) in enumerate(sends):
+        try:
+            send()
+        except BaseException as exc:
+            errors.append(exc)
+            break
+        sent.append((slot, client))
+    gathered: list[tuple[int, object]] = []
+    for slot, client in sent:
+        try:
+            gathered.append((slot, client.finish()))
+        except BaseException as exc:
+            errors.append(exc)
+    return gathered, errors
+
+
+# ----------------------------------------------------------------------
+# The sharded service front
+# ----------------------------------------------------------------------
+
+
+def _check_shardable(name: str, index: object) -> PolygonIndex:
+    if not isinstance(index, PolygonIndex):
+        raise TypeError(
+            f"layer {name!r}: sharded serving requires immutable "
+            f"PolygonIndex snapshots, got {type(index).__name__} "
+            "(serve dynamic indexes from a single-process JoinService, "
+            "or compact them into a snapshot first)"
+        )
+    return index
+
+
+class ShardedJoinService:
+    """A multi-process, space-partitioned :class:`JoinService` front.
+
+    Parameters
+    ----------
+    layers:
+        A single :class:`PolygonIndex` (served as layer ``"default"``)
+        or a mapping of layer name to index.  Sharded serving requires
+        immutable snapshots; dynamic indexes belong in a single-process
+        service.
+    num_shards:
+        Partitions per layer == worker processes.  Each worker hosts one
+        :class:`JoinService` over its partitions of every layer.
+    backend:
+        ``"process"`` (default) spawns one worker process per shard and
+        ships batches through shared memory; ``"inline"`` hosts the
+        shard services in-process (tests, debugging).
+    adaptation:
+        Fans out to every shard worker: each shard runs its own
+        adaptation loop over its partition and retrains/swaps locally.
+    start_method:
+        ``multiprocessing`` start method for the process backend.
+        Defaults to ``"spawn"`` — the worker entry point is module-level
+        and payloads are pickled explicitly, so workers never depend on
+        forked state.
+
+    ``join`` results are bit-identical (every ``JoinResult`` statistic)
+    to the equivalent single-process service and to ``PolygonIndex.join``
+    — points route to exactly one shard, and partitioning never alters
+    any cell's reference set.
+    """
+
+    def __init__(
+        self,
+        layers: PolygonIndex | Mapping[str, PolygonIndex],
+        *,
+        num_shards: int = 2,
+        default_layer: str | None = None,
+        cache_cells: int = 4096,
+        max_batch: int = 256,
+        max_wait_ms: float = 2.0,
+        latency_window: int = 8192,
+        adaptation: AdaptationPolicy | None = None,
+        backend: str = "process",
+        start_method: str = "spawn",
+    ):
+        if not isinstance(layers, Mapping):
+            layers = {DEFAULT_LAYER: layers}
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        if backend not in ("process", "inline"):
+            raise ValueError(f"unknown backend {backend!r}")
+        for name, index in layers.items():
+            _check_shardable(name, index)
+        self.num_shards = num_shards
+        self.backend = backend
+        self._cache_cells = cache_cells
+        # The front's layer registry IS a LayerRouter: copy-on-write
+        # snapshot reads, default-layer resolution, duplicate/rollback
+        # validation — one implementation shared with JoinService.
+        self._router = LayerRouter(layers, default=default_layer)
+        self._plans: dict[str, ShardPlan] = {
+            name: ShardPlan.from_index(index, num_shards)
+            for name, index in layers.items()
+        }
+        payloads = [
+            _WorkerPayload(
+                shard=shard,
+                parts={
+                    name: _part_for(self._plans[name], shard, index)
+                    for name, index in self._router.items()
+                },
+                cache_cells=cache_cells,
+                adaptation=adaptation,
+            )
+            for shard in range(num_shards)
+        ]
+        # One lock serializes scatter/gather dispatches and admin fan-outs:
+        # worker pipes are request/response channels and must never see
+        # interleaved conversations.
+        self._lock = threading.Lock()
+        self._closed = False
+        self._poisoned = False
+        self._clients: list[_ProcessShard | _InlineShard] = []
+        try:
+            if backend == "inline":
+                self._clients = [_InlineShard(p) for p in payloads]
+            else:
+                # Start the parent's resource tracker BEFORE creating
+                # workers: forked children must inherit it (a worker
+                # that lazily spawns its own tracker on shm attach would
+                # warn about "leaked" segments the front rightly owns
+                # and unlinks).  Spawned children receive the fd anyway.
+                from multiprocessing import resource_tracker
+
+                resource_tracker.ensure_running()
+                ctx = get_context(start_method)
+                self._clients = [_ProcessShard(ctx, p) for p in payloads]
+                for client in self._clients:
+                    client.request(("ping",))  # barrier: surfaces build errors
+        except BaseException:
+            for client in self._clients:
+                client.close()
+            raise
+        self._recorder = LatencyRecorder(window=latency_window)
+        self._batcher = MicroBatcher(
+            self._flush_lookups, max_batch=max_batch, max_wait_ms=max_wait_ms
+        )
+
+    # ------------------------------------------------------------------
+    # Layer routing
+    # ------------------------------------------------------------------
+
+    @property
+    def layers(self) -> tuple[str, ...]:
+        return self._router.names
+
+    def plan(self, layer: str | None = None) -> ShardPlan:
+        """The live shard plan of one layer."""
+        name, _ = self._router.resolve(layer)
+        return self._plans[name]
+
+    # ------------------------------------------------------------------
+    # Batch path
+    # ------------------------------------------------------------------
+
+    def join(
+        self,
+        lats: np.ndarray,
+        lngs: np.ndarray,
+        *,
+        layer: str | None = None,
+        exact: bool = False,
+        materialize: bool = False,
+    ) -> JoinResult:
+        """Join a point batch against one layer across all shards."""
+        self._check_open()
+        name, _ = self._router.resolve(layer)  # fail fast on unknown layers
+        lats = np.ascontiguousarray(lats, dtype=np.float64)
+        lngs = np.ascontiguousarray(lngs, dtype=np.float64)
+        with Timer() as timer:
+            result = self._scatter_join(name, lats, lngs, exact, materialize)
+        self._recorder.record(
+            requests=1,
+            points=len(lats),
+            pairs=result.num_pairs,
+            seconds=timer.seconds,
+        )
+        return result
+
+    def join_layers(
+        self,
+        lats: np.ndarray,
+        lngs: np.ndarray,
+        *,
+        layers: Sequence[str] | None = None,
+        exact: bool = False,
+    ) -> dict[str, JoinResult]:
+        """Fan a batch out to several layers (``None`` = every layer).
+
+        Leaf cell ids depend only on the coordinates: computed once,
+        shared across every layer's scatter.
+        """
+        self._check_open()
+        routed = self._router.select(layers)  # ONE registry snapshot
+        lats = np.ascontiguousarray(lats, dtype=np.float64)
+        lngs = np.ascontiguousarray(lngs, dtype=np.float64)
+        cell_ids = cell_ids_from_lat_lng_arrays(lats, lngs)
+        results: dict[str, JoinResult] = {}
+        for position, (name, _) in enumerate(routed):
+            with Timer() as timer:
+                results[name] = self._scatter_join(
+                    name, lats, lngs, exact, False, cell_ids=cell_ids
+                )
+            self._recorder.record(
+                requests=1 if position == 0 else 0,
+                points=len(lats),
+                pairs=results[name].num_pairs,
+                seconds=timer.seconds,
+            )
+        return results
+
+    def _scatter_join(
+        self,
+        name: str,
+        lats: np.ndarray,
+        lngs: np.ndarray,
+        exact: bool,
+        materialize: bool,
+        cell_ids: np.ndarray | None = None,
+    ) -> JoinResult:
+        if cell_ids is None:
+            cell_ids = cell_ids_from_lat_lng_arrays(lats, lngs)
+        if len(lats) == 0:
+            _, index = self._router.resolve(name)
+            return _merge_parts(
+                0, len(index.polygons), [], [], None, None, materialize, 0.0
+            )
+        with self._lock, Timer() as timer:
+            # Resolve UNDER the dispatch lock: index, plan, and the
+            # workers' sub-indexes always belong to the same generation,
+            # even when a swap_layer lands between the caller's routing
+            # check and this dispatch.
+            _, index = self._router.resolve(name)
+            num_polygons = len(index.polygons)
+            plan = self._plans[name]
+            shard_of = plan.shard_for(cell_ids)
+            order = np.argsort(shard_of, kind="stable")
+            per_shard = np.bincount(shard_of, minlength=plan.num_shards)
+            offsets = np.zeros(plan.num_shards + 1, dtype=np.int64)
+            np.cumsum(per_shard, out=offsets[1:])
+            batch = self._make_batch(lats[order], lngs[order], cell_ids[order])
+            engaged = [
+                shard
+                for shard in range(plan.num_shards)
+                if per_shard[shard] > 0
+            ]
+            try:
+                sends = [
+                    (
+                        self._clients[shard],
+                        lambda shard=shard: self._clients[shard].start_join(
+                            name,
+                            batch,
+                            int(offsets[shard]),
+                            int(per_shard[shard]),
+                            exact,
+                            materialize,
+                        ),
+                    )
+                    for shard in engaged
+                ]
+                gathered, errors = _scatter_gather(sends)
+                if errors:
+                    raise errors[0]
+            finally:
+                batch.close()
+        return _merge_parts(
+            len(lats),
+            num_polygons,
+            [part for _, part in gathered],
+            [engaged[slot] for slot, _ in gathered],
+            order,
+            offsets,
+            materialize,
+            timer.seconds,
+        )
+
+    def _make_batch(self, lats, lngs, cells):
+        if self.backend == "inline":
+            return _ArrayBatch(lats, lngs, cells)
+        return _ShmBatch(lats, lngs, cells)
+
+    # ------------------------------------------------------------------
+    # Single-point path (micro-batched at the front)
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        lat: float,
+        lng: float,
+        *,
+        layer: str | None = None,
+        exact: bool = True,
+    ):
+        """Enqueue a lookup; resolves to the sorted containing polygon ids."""
+        self._check_open()
+        name, _ = self._router.resolve(layer)
+        return self._batcher.submit(
+            LookupRequest(lat=float(lat), lng=float(lng), layer=name, exact=exact)
+        )
+
+    def lookup(
+        self,
+        lat: float,
+        lng: float,
+        *,
+        layer: str | None = None,
+        exact: bool = True,
+    ) -> list[int]:
+        """Blocking single-point lookup (rides the front micro-batcher)."""
+        return self.submit(lat, lng, layer=layer, exact=exact).result()
+
+    def _flush_lookups(
+        self, layer: str | None, exact: bool, requests: Sequence[LookupRequest]
+    ) -> None:
+        name, _ = self._router.resolve(layer)
+        lats = np.fromiter((r.lat for r in requests), np.float64, len(requests))
+        lngs = np.fromiter((r.lng for r in requests), np.float64, len(requests))
+        with Timer() as timer:
+            result = self._scatter_join(name, lats, lngs, exact, True)
+            per_point: list[list[int]] = [[] for _ in requests]
+            for point, pid in zip(
+                result.pair_points.tolist(), result.pair_polygons.tolist()
+            ):
+                per_point[point].append(int(pid))
+        self._recorder.record(
+            requests=len(requests),
+            points=len(requests),
+            pairs=result.num_pairs,
+            seconds=timer.seconds,
+        )
+        for request, pids in zip(requests, per_point):
+            request.future.set_result(sorted(pids))
+
+    # ------------------------------------------------------------------
+    # Layer management (fans out per shard)
+    # ------------------------------------------------------------------
+
+    def swap_layer(self, name: str, index: PolygonIndex) -> PolygonIndex:
+        """Atomically replace a layer with a newer snapshot on every shard.
+
+        Re-plans the partition for the new snapshot and fans the swap
+        out; each worker builds its new sub-index in parallel with the
+        others.  The front's plan flips only after every shard swapped,
+        so dispatches keep scattering by the plan that matches what the
+        workers serve (the dispatch lock makes the fan-out atomic with
+        respect to joins).
+        """
+        self._check_open()
+        _check_shardable(name, index)
+        with self._lock:
+            if name not in self._router:
+                raise KeyError(
+                    f"cannot swap unknown layer {name!r}; "
+                    f"registered layers: {list(self._router.names)}"
+                )
+            _, previous = self._router.resolve(name)
+            if index.version <= previous.version:
+                raise ValueError(
+                    f"refusing to swap layer {name!r} to version "
+                    f"{index.version} (currently {previous.version})"
+                )
+            plan = ShardPlan.from_index(index, self.num_shards)
+            self._admin_fan_out(
+                [
+                    ("swap", name, _part_for(plan, shard, index))
+                    for shard in range(self.num_shards)
+                ]
+            )
+            # Publish only after EVERY shard swapped, so dispatches always
+            # scatter by the plan matching what the workers serve.
+            self._plans[name] = plan
+            return self._router.swap(name, index)
+
+    def add_layer(self, name: str, index: PolygonIndex) -> None:
+        """Register an additional layer on the live sharded service."""
+        self._check_open()
+        if not name:
+            raise ValueError("layer name must be non-empty")
+        _check_shardable(name, index)
+        with self._lock:
+            if name in self._router:
+                raise ValueError(f"layer {name!r} is already registered")
+            plan = ShardPlan.from_index(index, self.num_shards)
+            self._admin_fan_out(
+                [
+                    ("add_layer", name, _part_for(plan, shard, index))
+                    for shard in range(self.num_shards)
+                ]
+            )
+            self._plans[name] = plan
+            self._router.add(name, index)
+
+    def _admin_fan_out(self, messages: list[tuple]) -> None:
+        """Scatter one admin message per shard; gather before returning.
+
+        All-or-nothing is required for layer management: if SOME shards
+        applied the change and others did not, the workers disagree on
+        the layer's partition and no front-side plan can match all of
+        them — the service is poisoned (every later call raises) rather
+        than silently serving mixed generations.  A failure on EVERY
+        shard leaves the previous state intact everywhere, so the
+        service stays usable.
+        """
+        gathered, errors = _scatter_gather(
+            [
+                (client, lambda c=client, m=msg: c.start(m))
+                for client, msg in zip(self._clients, messages)
+            ]
+        )
+        if errors:
+            if 0 < len(gathered) < len(self._clients):
+                self._poisoned = True
+            raise errors[0]
+
+    # ------------------------------------------------------------------
+    # Observability & lifecycle
+    # ------------------------------------------------------------------
+
+    def stats(self) -> ServiceStats:
+        """Merged snapshot with per-shard detail in ``stats.shards``.
+
+        Front-level latency covers whole scatter/gather dispatches;
+        cache counters sum across shards per layer; each shard's own
+        ``ServiceStats`` (including its adaptation state) rides along in
+        ``shards``.  Adaptation entries are keyed ``layer@shardN`` so the
+        point-weighted ``live_sth_rate`` and ``retrains`` aggregates stay
+        correct across the fan-out.
+        """
+        self._check_open()
+        with self._lock:
+            # Scatter the stats request to every worker before gathering,
+            # so the per-shard snapshot work overlaps instead of paying N
+            # sequential round-trips under the dispatch lock.
+            gathered, errors = _scatter_gather(
+                [
+                    (client, lambda c=client: c.start(("stats",)))
+                    for client in self._clients
+                ]
+            )
+            if errors:
+                raise errors[0]
+            shard_stats: list[ServiceStats] = [value for _, value in gathered]
+            indexes = dict(self._router.items())
+            plans = dict(self._plans)
+        cache: dict[str, CacheStats] = {}
+        for name in indexes:
+            slices = [s.cache[name] for s in shard_stats if name in s.cache]
+            if slices:
+                cache[name] = CacheStats(
+                    capacity=sum(s.capacity for s in slices),
+                    size=sum(s.size for s in slices),
+                    hits=sum(s.hits for s in slices),
+                    misses=sum(s.misses for s in slices),
+                    evictions=sum(s.evictions for s in slices),
+                )
+        layers = {
+            name: LayerStatus(
+                version=index.version,
+                delta_size=0,
+                num_polygons=index.num_polygons,
+            )
+            for name, index in indexes.items()
+        }
+        adaptation = {
+            f"{layer}@shard{shard}": status
+            for shard, stats in enumerate(shard_stats)
+            for layer, status in stats.adaptation.items()
+        }
+        shards = tuple(
+            ShardStatus(
+                shard=shard,
+                num_polygons=sum(
+                    len(plan.members[shard]) for plan in plans.values()
+                ),
+                stats=stats,
+            )
+            for shard, stats in enumerate(shard_stats)
+        )
+        return self._recorder.snapshot(cache, layers, adaptation, shards=shards)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("service is closed")
+        if self._poisoned:
+            raise RuntimeError(
+                "service is inconsistent: a layer swap/add failed on some "
+                "shards after succeeding on others; close it and rebuild"
+            )
+
+    def close(self) -> None:
+        """Drain pending lookups, stop every shard worker, reap processes."""
+        if self._closed:
+            return
+        self._closed = True
+        self._batcher.close()
+        with self._lock:
+            for client in self._clients:
+                client.close()
+
+    def __enter__(self) -> "ShardedJoinService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def _merge_parts(
+    num_points: int,
+    num_polygons: int,
+    parts: list[JoinResult],
+    engaged: list[int],
+    order: np.ndarray | None,
+    offsets: np.ndarray | None,
+    materialize: bool,
+    wall_seconds: float,
+) -> JoinResult:
+    """Merge per-shard partial results into one :class:`JoinResult`.
+
+    Every point was joined by exactly one shard, so all statistics merge
+    by summation; the scatter/gather wall time is apportioned between
+    probe and refine by the workers' busy ratio, mirroring the morsel
+    merge, so the two still sum to elapsed front time.
+    """
+    probe_total = sum(p.probe_seconds for p in parts)
+    refine_total = sum(p.refine_seconds for p in parts)
+    busy_total = probe_total + refine_total
+    refine_wall = (
+        wall_seconds * refine_total / busy_total if busy_total > 0 else 0.0
+    )
+    counts = (
+        np.sum([p.counts for p in parts], axis=0)
+        if parts
+        else np.zeros(num_polygons, dtype=np.int64)
+    )
+    merged = JoinResult(
+        num_points=num_points,
+        counts=counts,
+        num_pairs=sum(p.num_pairs for p in parts),
+        num_true_hit_pairs=sum(p.num_true_hit_pairs for p in parts),
+        num_candidate_pairs=sum(p.num_candidate_pairs for p in parts),
+        num_pip_tests=sum(p.num_pip_tests for p in parts),
+        solely_true_hits=sum(p.solely_true_hits for p in parts),
+        probe_seconds=wall_seconds - refine_wall,
+        refine_seconds=refine_wall,
+    )
+    if materialize:
+        if parts:
+            merged.pair_points = np.concatenate(
+                [
+                    order[offsets[shard] + part.pair_points]
+                    for shard, part in zip(engaged, parts)
+                ]
+            )
+            merged.pair_polygons = np.concatenate(
+                [part.pair_polygons for part in parts]
+            )
+        else:
+            merged.pair_points = np.zeros(0, dtype=np.int64)
+            merged.pair_polygons = np.zeros(0, dtype=np.int64)
+    return merged

@@ -30,6 +30,21 @@ class LayerStatus:
 
 
 @dataclass(frozen=True)
+class ShardStatus:
+    """One shard of a :class:`~repro.serve.sharded.ShardedJoinService`.
+
+    ``stats`` is the shard worker's own full :class:`ServiceStats`
+    snapshot — per-shard latency, cache, layer, and adaptation detail —
+    while the merged front-level ``ServiceStats`` aggregates across
+    shards.
+    """
+
+    shard: int  # shard index in [0, num_shards)
+    num_polygons: int  # polygons replicated into this shard (all layers)
+    stats: "ServiceStats"  # the shard's own service snapshot
+
+
+@dataclass(frozen=True)
 class ServiceStats:
     """One immutable snapshot of a running :class:`JoinService`."""
 
@@ -45,6 +60,7 @@ class ServiceStats:
     cache: dict[str, CacheStats] = field(default_factory=dict)
     layers: dict[str, LayerStatus] = field(default_factory=dict)
     adaptation: dict[str, AdaptationStatus] = field(default_factory=dict)
+    shards: tuple[ShardStatus, ...] = ()  # per-shard detail (sharded serve)
 
     @property
     def mean_batch_size(self) -> float:
@@ -113,14 +129,20 @@ class LatencyRecorder:
         cache: dict[str, CacheStats] | None = None,
         layers: dict[str, LayerStatus] | None = None,
         adaptation: dict[str, AdaptationStatus] | None = None,
+        shards: tuple[ShardStatus, ...] = (),
     ) -> ServiceStats:
+        # Only the (cheap, C-level) deque copy happens under the lock;
+        # the ndarray conversion and percentile scans run outside it, so
+        # a snapshot never stalls concurrent record() calls on the hot
+        # dispatch path while numpy crunches an 8192-sample window.
         with self._lock:
-            samples = np.asarray(self._samples, dtype=np.float64)
+            window = list(self._samples)
             requests = self._requests
             points = self._points
             pairs = self._pairs
             dispatches = self._dispatches
             busy = self._busy_seconds
+        samples = np.asarray(window, dtype=np.float64)
         if samples.size:
             mean_ms = float(samples.mean() * 1e3)
             p50_ms = float(np.percentile(samples, 50) * 1e3)
@@ -141,4 +163,5 @@ class LatencyRecorder:
             cache=dict(cache or {}),
             layers=dict(layers or {}),
             adaptation=dict(adaptation or {}),
+            shards=tuple(shards),
         )

@@ -1,6 +1,7 @@
 """Tests for the online serving subsystem (repro.serve)."""
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
@@ -9,6 +10,7 @@ import pytest
 from repro import JoinService, PolygonIndex
 from repro.geo.polygon import regular_polygon
 from repro.serve import (
+    LatencyRecorder,
     CachedCellStore,
     HotCellCache,
     LayerRouter,
@@ -664,3 +666,191 @@ class TestSnapshotSwap:
                 stop.set()
                 thread.join()
         assert not errors
+
+
+class TestLayerRouterConcurrency:
+    """Readers must survive concurrent add/swap (copy-on-write registry)."""
+
+    def test_reader_survives_interleaved_add(self, index, second_index):
+        """Deterministic interleaving: an ``add`` lands mid-iteration.
+
+        The instrumented registry performs the concurrent ``add`` the
+        moment a reader starts iterating it — exactly the interleaving a
+        ``join_layers`` fan-out racing an ``add_layer`` hits.  With
+        in-place mutation this raises ``RuntimeError: dictionary changed
+        size during iteration``; with copy-on-write publication the
+        reader's snapshot is immune.
+        """
+        router = LayerRouter({"base": index})
+
+        def racing_iter(plain_iter):
+            first = True
+            for key in plain_iter:
+                yield key
+                if first:
+                    first = False
+                    router.add("added-mid-iteration", second_index)
+
+        class RacingDict(dict):
+            def __iter__(self):
+                return racing_iter(super().__iter__())
+
+        router._layers = RacingDict(router._layers)
+        names = router.names  # tuple(...) drives the racing iterator
+        assert "base" in names
+        assert "added-mid-iteration" in router
+
+    def test_readers_survive_add_stress(self, index, second_index):
+        router = LayerRouter({"base": index})
+        stop = threading.Event()
+        errors: list[Exception] = []
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    router.names
+                    router.resolve("base")
+                    router.select(None)
+                    list(router.items())
+                    router.default
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        try:
+            for k in range(200):
+                router.add(f"layer-{k}", second_index)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        assert not errors
+        assert len(router) == 201
+
+    def test_select_resolves_one_snapshot(self, index, second_index):
+        router = LayerRouter({"a": index, "b": second_index})
+        routed = dict(router.select(["a", "b"]))
+        assert routed["a"] is index
+        assert routed["b"] is second_index
+
+
+class TestMorselExecutorFailFast:
+    def test_failing_worker_stops_remaining_morsels(self):
+        """Workers must stop claiming morsels once one of them fails."""
+        calls: list[int] = []
+        calls_lock = threading.Lock()
+
+        def work(lo, hi):
+            with calls_lock:
+                calls.append(lo)
+            if lo == 0:
+                raise ValueError("boom at morsel 0")
+            time.sleep(0.01)
+            return hi
+
+        with MorselExecutor(num_threads=2, morsel_size=10) as executor:
+            with pytest.raises(ValueError, match="boom at morsel 0"):
+                executor.map_morsels(200, work)  # 20 morsels
+        # Without fail-fast the surviving worker grinds through all 20
+        # morsels; with the shared flag it stops after at most the ones
+        # it had already claimed when the failure landed.
+        assert len(calls) < 20
+        assert len(calls) <= 5
+
+    def test_error_on_single_inline_morsel_still_raises(self):
+        def work(lo, hi):
+            raise RuntimeError("inline failure")
+
+        with MorselExecutor(num_threads=2, morsel_size=100) as executor:
+            with pytest.raises(RuntimeError, match="inline failure"):
+                executor.map_morsels(50, work)
+
+    def test_pool_reusable_after_failure(self):
+        with MorselExecutor(num_threads=2, morsel_size=5) as executor:
+            with pytest.raises(ValueError):
+                executor.map_morsels(20, lambda lo, hi: (_ for _ in ()).throw(ValueError()))
+            assert executor.map_morsels(20, lambda lo, hi: hi - lo) == [5, 5, 5, 5]
+
+
+class TestLatencyRecorderLocking:
+    def test_record_not_blocked_during_snapshot(self, monkeypatch):
+        """The numpy window crunching must run outside the recorder lock.
+
+        Slows down the snapshot's first ndarray conversion (the
+        whole-window ``np.asarray``) and asserts a concurrent ``record``
+        still completes while the snapshot is mid-conversion — it blocks
+        on the recorder lock if the conversion runs under it.
+        """
+        import repro.serve.stats as stats_mod
+
+        recorder = LatencyRecorder(window=256)
+        for _ in range(64):
+            recorder.record(requests=1, points=1, pairs=0, seconds=0.001)
+
+        entered = threading.Event()
+        release = threading.Event()
+        armed = [True]  # only the first conversion (the window) is slowed
+        real_asarray = np.asarray
+
+        def slow_asarray(obj, *args, **kwargs):
+            if armed[0]:
+                armed[0] = False
+                entered.set()
+                assert release.wait(5), "test deadlock: release never set"
+            return real_asarray(obj, *args, **kwargs)
+
+        monkeypatch.setattr(stats_mod.np, "asarray", slow_asarray)
+        snapshot_thread = threading.Thread(target=recorder.snapshot)
+        snapshot_thread.start()
+        try:
+            assert entered.wait(5), "snapshot never reached the percentile"
+            record_thread = threading.Thread(
+                target=recorder.record,
+                kwargs=dict(requests=1, points=1, pairs=0, seconds=0.002),
+            )
+            record_thread.start()
+            record_thread.join(timeout=1.0)
+            blocked = record_thread.is_alive()
+        finally:
+            release.set()
+            snapshot_thread.join(timeout=5)
+            if "record_thread" in locals():
+                record_thread.join(timeout=5)
+        assert not blocked, "record() stalled while snapshot held the lock"
+
+    def test_snapshot_percentiles_match_numpy(self):
+        recorder = LatencyRecorder(window=64)
+        rng = np.random.default_rng(5)
+        seconds = rng.uniform(0.001, 0.01, 100)
+        for s in seconds:
+            recorder.record(requests=1, points=1, pairs=0, seconds=float(s))
+        snap = recorder.snapshot()
+        window = seconds[-64:]
+        assert snap.p50_ms == pytest.approx(float(np.percentile(window, 50) * 1e3))
+        assert snap.p99_ms == pytest.approx(float(np.percentile(window, 99) * 1e3))
+        assert snap.mean_ms == pytest.approx(float(window.mean() * 1e3))
+
+
+class TestStatsNewestGeneration:
+    def test_stale_generation_never_masks_live_stats(self, index, points):
+        """If two cache generations coexist, stats must report the newest.
+
+        Plants a stale (older-version) generation AFTER the live one, so
+        collapsing ``(layer, version)`` keys to the layer name on plain
+        insertion order would let the stale generation's empty counters
+        mask the live traffic.
+        """
+        lats, lngs = points
+        with JoinService(index) as svc:
+            svc.join(lats[:2000], lngs[:2000])  # live cache sees traffic
+            live_key = ("default", index.version)
+            assert live_key in svc._caches
+            live_capacity = svc._caches[live_key].capacity
+            stale = HotCellCache(capacity=7)
+            svc._caches[("default", index.version - 1)] = stale
+            stats = svc.stats()
+        assert stats.cache["default"].capacity == live_capacity
+        assert stats.cache["default"].requests > 0

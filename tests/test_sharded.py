@@ -1,0 +1,390 @@
+"""Tests for sharded multi-process serving (repro.serve.sharded)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import PolygonIndex
+from repro.cells.cellid import CellId
+from repro.geo.polygon import regular_polygon
+from repro.serve import ShardPlan, ShardWorkerError, ShardedJoinService
+
+#: Every JoinResult field two equivalent joins must agree on exactly.
+STAT_FIELDS = (
+    "num_points",
+    "num_pairs",
+    "num_true_hit_pairs",
+    "num_candidate_pairs",
+    "num_pip_tests",
+    "solely_true_hits",
+)
+
+
+def _grid_polygons(origin_lng=-74.0, origin_lat=40.70):
+    return [
+        regular_polygon((origin_lng + gx * 0.02, origin_lat + gy * 0.02), 0.011, 16)
+        for gx in range(3)
+        for gy in range(3)
+    ]
+
+
+@pytest.fixture(scope="module")
+def index():
+    return PolygonIndex.build(_grid_polygons(), precision_meters=30.0)
+
+
+@pytest.fixture(scope="module")
+def swap_index(index):
+    # Built after ``index`` so its version is strictly greater — a valid
+    # swap target with a different (coarser) polygon set.
+    polygons = [
+        regular_polygon((-74.0 + gx * 0.04, 40.70 + gy * 0.04), 0.02, 12)
+        for gx in range(2)
+        for gy in range(2)
+    ]
+    return PolygonIndex.build(polygons, precision_meters=60.0)
+
+
+@pytest.fixture(scope="module")
+def points():
+    rng = np.random.default_rng(31)
+    lngs = rng.uniform(-74.04, -73.92, 6_000)
+    lats = rng.uniform(40.66, 40.78, 6_000)
+    return lats, lngs
+
+
+def assert_identical(served, direct):
+    assert np.array_equal(served.counts, direct.counts)
+    for field in STAT_FIELDS:
+        assert getattr(served, field) == getattr(direct, field), field
+
+
+class TestShardPlan:
+    @pytest.mark.parametrize("num_shards", [1, 2, 3, 5, 8])
+    def test_partition_is_exact(self, index, num_shards):
+        plan = ShardPlan.from_index(index, num_shards)
+        raw = index.super_covering.raw_items()
+        assert plan.num_shards == num_shards
+        assert len(plan.boundaries) == num_shards - 1
+        assert list(plan.boundaries) == sorted(plan.boundaries)
+        # Every covering cell lands in exactly one shard, refs untouched.
+        scattered = {}
+        for shard_cells in plan.cells:
+            for cell_id, refs in shard_cells.items():
+                assert cell_id not in scattered
+                scattered[cell_id] = refs
+        assert scattered == dict(raw)
+        # Members are exactly the polygons referenced by a shard's cells.
+        for shard in range(num_shards):
+            referenced = {
+                ref.polygon_id
+                for refs in plan.cells[shard].values()
+                for ref in refs
+            }
+            assert set(plan.members[shard]) == referenced
+
+    def test_cells_and_points_agree_on_ownership(self, index):
+        plan = ShardPlan.from_index(index, 4)
+        for shard, shard_cells in enumerate(plan.cells):
+            for cell_id in shard_cells:
+                cell = CellId(cell_id)
+                ends = np.asarray(
+                    [cell.range_min().id, cell.range_max().id], dtype=np.uint64
+                )
+                assert plan.shard_for(ends).tolist() == [shard, shard]
+
+    def test_balanced_on_covering_cell_counts(self, index):
+        plan = ShardPlan.from_index(index, 4)
+        weights = plan.cell_weights
+        assert sum(weights) == sum(
+            len(refs) for refs in index.super_covering.raw_items().values()
+        )
+        assert max(weights) <= 2 * (sum(weights) / len(weights))
+
+    def test_straddling_polygons_are_replicated(self, index):
+        # The grid polygons' coverings cross shard cuts, so the member
+        # lists overlap: total membership exceeds the polygon count.
+        plan = ShardPlan.from_index(index, 3)
+        assert sum(len(m) for m in plan.members) > len(index.polygons)
+        assert set().union(*map(set, plan.members)) == set(
+            range(len(index.polygons))
+        )
+
+    def test_single_shard_owns_everything(self, index):
+        plan = ShardPlan.from_index(index, 1)
+        assert plan.boundaries.size == 0
+        assert plan.members[0] == tuple(range(len(index.polygons)))
+
+    def test_invalid_shard_count(self, index):
+        with pytest.raises(ValueError):
+            ShardPlan.from_index(index, 0)
+
+
+class TestInlineSharded:
+    @pytest.mark.parametrize("num_shards", [1, 2, 3, 5])
+    @pytest.mark.parametrize("exact", [False, True])
+    def test_join_bit_identical_to_direct(self, index, points, num_shards, exact):
+        lats, lngs = points
+        direct = index.join(lats, lngs, exact=exact)
+        with ShardedJoinService(
+            index, num_shards=num_shards, backend="inline"
+        ) as svc:
+            served = svc.join(lats, lngs, exact=exact)
+        assert_identical(served, direct)
+
+    def test_materialized_pairs_match_direct(self, index, points):
+        lats, lngs = points
+        direct = index.join(lats, lngs, exact=True, materialize=True)
+        with ShardedJoinService(index, num_shards=3, backend="inline") as svc:
+            served = svc.join(lats, lngs, exact=True, materialize=True)
+        assert set(
+            zip(served.pair_points.tolist(), served.pair_polygons.tolist())
+        ) == set(zip(direct.pair_points.tolist(), direct.pair_polygons.tolist()))
+
+    def test_join_layers_identical_per_layer(self, index, swap_index, points):
+        lats, lngs = points
+        with ShardedJoinService(
+            {"fine": index, "coarse": swap_index},
+            num_shards=3,
+            backend="inline",
+            default_layer="fine",
+        ) as svc:
+            results = svc.join_layers(lats, lngs, exact=True)
+            assert set(results) == {"fine", "coarse"}
+            assert_identical(results["fine"], index.join(lats, lngs, exact=True))
+            assert_identical(
+                results["coarse"], swap_index.join(lats, lngs, exact=True)
+            )
+            only = svc.join_layers(lats[:500], lngs[:500], layers=["coarse"])
+            assert list(only) == ["coarse"]
+
+    def test_lookup_matches_containing_polygons(self, index, points):
+        lats, lngs = points
+        with ShardedJoinService(index, num_shards=3, backend="inline") as svc:
+            for i in range(30):
+                assert svc.lookup(lats[i], lngs[i]) == index.containing_polygons(
+                    lats[i], lngs[i]
+                )
+
+    def test_empty_batch(self, index):
+        with ShardedJoinService(index, num_shards=2, backend="inline") as svc:
+            result = svc.join(np.zeros(0), np.zeros(0), exact=True)
+        assert result.num_points == 0
+        assert result.num_pairs == 0
+        assert len(result.counts) == len(index.polygons)
+
+    def test_swap_layer_stays_identical(self, index, swap_index, points):
+        lats, lngs = points
+        with ShardedJoinService(index, num_shards=3, backend="inline") as svc:
+            before = svc.join(lats, lngs, exact=True)
+            assert_identical(before, index.join(lats, lngs, exact=True))
+            previous = svc.swap_layer("default", swap_index)
+            assert previous is index
+            after = svc.join(lats, lngs, exact=True)
+            assert_identical(after, swap_index.join(lats, lngs, exact=True))
+            assert svc.stats().layers["default"].version == swap_index.version
+
+    def test_swap_to_stale_version_refused(self, index, swap_index):
+        with ShardedJoinService(
+            swap_index, num_shards=2, backend="inline"
+        ) as svc:
+            with pytest.raises(ValueError, match="refusing to swap"):
+                svc.swap_layer("default", index)
+
+    def test_add_layer_on_live_service(self, index, swap_index, points):
+        lats, lngs = points
+        with ShardedJoinService(
+            {"fine": index}, num_shards=2, backend="inline"
+        ) as svc:
+            svc.add_layer("coarse", swap_index)
+            assert set(svc.layers) == {"fine", "coarse"}
+            served = svc.join(lats[:1000], lngs[:1000], layer="coarse")
+            assert_identical(served, swap_index.join(lats[:1000], lngs[:1000]))
+            with pytest.raises(ValueError, match="already registered"):
+                svc.add_layer("coarse", swap_index)
+
+    def test_unknown_layer_and_closed_service(self, index, points):
+        lats, lngs = points
+        svc = ShardedJoinService(index, num_shards=2, backend="inline")
+        with pytest.raises(KeyError, match="nope"):
+            svc.join(lats[:10], lngs[:10], layer="nope")
+        svc.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            svc.join(lats[:10], lngs[:10])
+        svc.close()  # idempotent
+
+    def test_dynamic_index_rejected(self, index):
+        from repro.core.dynamic import DynamicPolygonIndex
+
+        dyn = DynamicPolygonIndex.build(
+            [regular_polygon((-74.0, 40.70), 0.01, 12)], compact_threshold=None
+        )
+        with pytest.raises(TypeError, match="PolygonIndex"):
+            ShardedJoinService(dyn, num_shards=2, backend="inline")
+
+    def test_stats_merge(self, index, points):
+        lats, lngs = points
+        with ShardedJoinService(
+            index, num_shards=3, backend="inline", cache_cells=1024
+        ) as svc:
+            svc.join(lats, lngs)
+            svc.join(lats, lngs)
+            stats = svc.stats()
+        assert stats.requests == 2
+        assert stats.points == 2 * len(lats)
+        assert len(stats.shards) == 3
+        # Shard-level dispatch counts sum to front dispatches per shard
+        # engagement; every shard with members saw traffic here.
+        assert sum(s.stats.points for s in stats.shards) == 2 * len(lats)
+        # Warm second pass: the per-shard hot-cell caches must have hit.
+        assert stats.cache_hit_rate > 0
+        assert stats.layers["default"].num_polygons == len(index.polygons)
+
+
+class TestPartialFailureHandling:
+    def test_partial_swap_poisons_the_service(
+        self, index, swap_index, points, monkeypatch
+    ):
+        """Mixed generations across shards must never serve silently.
+
+        Makes the worker-side sub-index build fail on the SECOND shard
+        only: shard 0 swaps, shard 1 keeps the old snapshot, so no plan
+        can match both — the service must refuse all further work.
+        """
+        import repro.serve.sharded as sharded_mod
+
+        lats, lngs = points
+        with ShardedJoinService(index, num_shards=2, backend="inline") as svc:
+            real = sharded_mod._index_from_part
+            calls = []
+
+            def flaky(part, *, fresh_version):
+                calls.append(fresh_version)
+                if fresh_version and len(calls) >= 2:
+                    raise MemoryError("simulated worker build failure")
+                return real(part, fresh_version=fresh_version)
+
+            monkeypatch.setattr(sharded_mod, "_index_from_part", flaky)
+            with pytest.raises(MemoryError):
+                svc.swap_layer("default", swap_index)
+            with pytest.raises(RuntimeError, match="inconsistent"):
+                svc.join(lats[:100], lngs[:100])
+            with pytest.raises(RuntimeError, match="inconsistent"):
+                svc.stats()
+
+    def test_uniform_swap_failure_leaves_service_usable(
+        self, index, swap_index, points, monkeypatch
+    ):
+        """If EVERY shard rejects the change, nothing moved — keep serving."""
+        import repro.serve.sharded as sharded_mod
+
+        lats, lngs = points
+
+        def always_fail(part, *, fresh_version):
+            if fresh_version:
+                raise MemoryError("simulated build failure on every shard")
+            return _real(part, fresh_version=fresh_version)
+
+        _real = sharded_mod._index_from_part
+        with ShardedJoinService(index, num_shards=2, backend="inline") as svc:
+            monkeypatch.setattr(sharded_mod, "_index_from_part", always_fail)
+            with pytest.raises(MemoryError):
+                svc.swap_layer("default", swap_index)
+            monkeypatch.setattr(sharded_mod, "_index_from_part", _real)
+            served = svc.join(lats[:500], lngs[:500], exact=True)
+            assert_identical(served, index.join(lats[:500], lngs[:500], exact=True))
+
+
+class TestShardBoundaryProperty:
+    """Sharding must be invisible: bit-identical for ANY shard count.
+
+    The hypothesis property scatters arbitrary point sets (including
+    points probing polygons whose coverings straddle shard cuts) across
+    arbitrary shard counts and compares every JoinResult statistic with
+    the single-index join — before and, when requested, after a
+    ``swap_layer``.
+    """
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        num_shards=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=2**20),
+        num_points=st.integers(min_value=0, max_value=400),
+        exact=st.booleans(),
+        swap=st.booleans(),
+    )
+    def test_sharded_join_bit_identical(
+        self, index, swap_index, num_shards, seed, num_points, exact, swap
+    ):
+        rng = np.random.default_rng(seed)
+        lngs = rng.uniform(-74.05, -73.91, num_points)
+        lats = rng.uniform(40.65, 40.79, num_points)
+        with ShardedJoinService(
+            index, num_shards=num_shards, backend="inline"
+        ) as svc:
+            reference = index
+            if swap:
+                svc.swap_layer("default", swap_index)
+                reference = swap_index
+            served = svc.join(lats, lngs, exact=exact, materialize=True)
+            direct = reference.join(lats, lngs, exact=exact, materialize=True)
+            assert_identical(served, direct)
+            assert set(
+                zip(served.pair_points.tolist(), served.pair_polygons.tolist())
+            ) == set(
+                zip(direct.pair_points.tolist(), direct.pair_polygons.tolist())
+            )
+
+
+class TestProcessBackend:
+    """End-to-end spawn-safe worker processes + shared-memory scatter."""
+
+    def test_process_service_end_to_end(self, index, swap_index, points):
+        lats, lngs = points
+        direct_exact = index.join(lats, lngs, exact=True)
+        direct_approx = index.join(lats, lngs)
+        with ShardedJoinService(index, num_shards=2, backend="process") as svc:
+            assert_identical(svc.join(lats, lngs, exact=True), direct_exact)
+            assert_identical(svc.join(lats, lngs), direct_approx)
+            # Single-point path through the front micro-batcher.
+            for i in range(10):
+                assert svc.lookup(lats[i], lngs[i]) == index.containing_polygons(
+                    lats[i], lngs[i]
+                )
+            stats = svc.stats()
+            assert len(stats.shards) == 2
+            assert stats.points >= 2 * len(lats)
+            # A failed control message surfaces as ShardWorkerError with
+            # the worker traceback, and the worker survives it.
+            with pytest.raises(ShardWorkerError, match="unknown shard op"):
+                svc._clients[0].request(("bogus-op",))
+            # Swap fans out per shard; results track the new snapshot.
+            svc.swap_layer("default", swap_index)
+            assert_identical(
+                svc.join(lats, lngs, exact=True),
+                swap_index.join(lats, lngs, exact=True),
+            )
+        # Workers are reaped on close.
+        for client in svc._clients:
+            assert not client._process.is_alive()
+
+    def test_dead_worker_surfaces_as_error_not_stale_results(
+        self, index, points
+    ):
+        """A killed worker must raise, never desynchronize the pipes."""
+        lats, lngs = points
+        svc = ShardedJoinService(index, num_shards=2, backend="process")
+        try:
+            baseline = svc.join(lats[:2000], lngs[:2000], exact=True)
+            assert baseline.num_points == 2000
+            svc._clients[1]._process.terminate()
+            svc._clients[1]._process.join(timeout=10)
+            # Every subsequent scatter touching the dead shard errors
+            # cleanly and repeatably (no stale replies from live shards
+            # leaking into later joins).
+            for _ in range(3):
+                with pytest.raises(ShardWorkerError):
+                    svc.join(lats[:2000], lngs[:2000], exact=True)
+        finally:
+            svc.close()

@@ -176,3 +176,42 @@ class TestBoundRectsForCellIds:
 
         out = bound_rects_for_cell_ids(np.zeros(0, dtype=np.uint64))
         assert all(len(a) == 0 for a in out)
+
+
+class TestRangeBounds:
+    """Vectorized range_min/range_max parity with the scalar CellId."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        lat=st.floats(min_value=-85.0, max_value=85.0),
+        lng=st.floats(min_value=-180.0, max_value=180.0),
+        level=st.integers(min_value=0, max_value=30),
+    )
+    def test_matches_scalar_cellid(self, lat, lng, level):
+        from repro.cells.vectorized import range_bounds_from_cell_ids
+
+        cell = CellId.from_degrees(lat, lng).parent(level)
+        lo, hi = range_bounds_from_cell_ids(
+            np.asarray([cell.id], dtype=np.uint64)
+        )
+        assert int(lo[0]) == cell.range_min().id
+        assert int(hi[0]) == cell.range_max().id
+
+    def test_mixed_levels_batch(self):
+        from repro.cells.vectorized import range_bounds_from_cell_ids
+
+        cells = [
+            CellId.from_degrees(40.7, -74.0).parent(level)
+            for level in (0, 5, 12, 20, 30)
+        ]
+        ids = np.asarray([cell.id for cell in cells], dtype=np.uint64)
+        lo, hi = range_bounds_from_cell_ids(ids)
+        for n, cell in enumerate(cells):
+            assert int(lo[n]) == cell.range_min().id
+            assert int(hi[n]) == cell.range_max().id
+
+    def test_empty(self):
+        from repro.cells.vectorized import range_bounds_from_cell_ids
+
+        lo, hi = range_bounds_from_cell_ids(np.zeros(0, dtype=np.uint64))
+        assert len(lo) == 0 and len(hi) == 0
