@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""End-to-end telemetry: traces, metrics, and exports from a live service.
+
+Builds the neighborhoods layer, attaches an ``Observability`` bundle to a
+sharded service (inline backend, so the demo runs anywhere), streams a
+skewed workload, and then plays dashboard: prints one dispatch's span
+tree (front scatter/gather/merge plus the shard workers' own probe and
+refine phases, stitched across the process boundary), the per-phase
+latency histograms, a Prometheus scrape excerpt, and the lifecycle event
+log — including a slow-dispatch exemplar trace.
+
+Run:  python examples/telemetry_dashboard.py
+"""
+
+import time
+
+from repro import Observability, PolygonIndex, stats_json
+from repro.datasets import polygon_dataset, shard_probe_points
+from repro.obs import format_trace
+from repro.serve import ShardedJoinService
+
+NUM_SHARDS = 2
+BATCH = 8_192
+
+
+def main() -> None:
+    print("building the neighborhoods layer (15 m precision bound)...")
+    start = time.perf_counter()
+    index = PolygonIndex.build(
+        polygon_dataset("neighborhoods"), precision_meters=15.0
+    )
+    print(f"  built in {time.perf_counter() - start:.1f}s")
+
+    # slow_trace_ms=0 turns every dispatch into an exemplar, so the demo
+    # always has one to show; production would use a real budget (say 50).
+    obs = Observability(slow_trace_ms=0.0)
+    lats, lngs = shard_probe_points(60_000)
+
+    with ShardedJoinService(
+        index, num_shards=NUM_SHARDS, backend="inline", obs=obs
+    ) as service:
+        for lo in range(0, len(lats), BATCH):
+            service.join(lats[lo:lo + BATCH], lngs[lo:lo + BATCH], exact=True)
+        trace = obs.tracer.take_last_trace()
+        stats = service.stats()
+
+    print("\n=== last dispatch trace (front + shard workers) ===")
+    print(format_trace(trace))
+
+    print("\n=== per-phase latency (from serve_phase_seconds) ===")
+    for metric in obs.metrics.collect():
+        if metric.name != "serve_phase_seconds":
+            continue
+        phase = metric.labels["phase"]
+        print(f"  {phase:>12}: n={metric.count:<5} "
+              f"p50={metric.percentile(50) * 1e3:7.3f}ms "
+              f"p99={metric.percentile(99) * 1e3:7.3f}ms")
+
+    print("\n=== Prometheus scrape (excerpt) ===")
+    exposition = obs.prometheus(stats=stats)
+    for line in exposition.splitlines():
+        if line.startswith(("repro_serve_dispatches", "repro_serve_points",
+                            "repro_service_throughput", "repro_service_shard")):
+            print(f"  {line}")
+    print(f"  ... ({len(exposition.splitlines())} lines total)")
+
+    print("\n=== event log ===")
+    for event in obs.events.events():
+        if event["kind"] == "slow_dispatch":
+            print(f"  slow_dispatch: {event['seconds'] * 1e3:.2f}ms, "
+                  f"{len(event['trace'])} spans retained")
+        else:
+            fields = {k: v for k, v in event.items() if k not in ("ts", "kind")}
+            print(f"  {event['kind']}: {fields}")
+
+    print("\n=== stats_json (one line, ready for a JSONL sink) ===")
+    print(f"  {stats_json(stats)[:160]}...")
+    obs.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -49,6 +49,14 @@ from repro.core import (
     train_super_covering,
 )
 from repro.geo import Polygon, Rect, Ring, polygon_from_wkt, polygon_to_wkt
+from repro.obs import (
+    EventLog,
+    MetricsRegistry,
+    Observability,
+    Tracer,
+    render_prometheus,
+    stats_json,
+)
 from repro.serve import (
     HotCellCache,
     JoinableIndex,
@@ -58,7 +66,7 @@ from repro.serve import (
     ServiceStats,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "CellId",
@@ -88,6 +96,12 @@ __all__ = [
     "polygon_from_wkt",
     "polygon_to_wkt",
     "DynamicPolygonIndex",
+    "EventLog",
+    "MetricsRegistry",
+    "Observability",
+    "Tracer",
+    "render_prometheus",
+    "stats_json",
     "HotCellCache",
     "JoinableIndex",
     "JoinService",

@@ -18,7 +18,8 @@ import sys
 import time
 
 from repro.bench import fig7, fig8, fig9, fig10, fig11
-from repro.bench import adapt_bench, churn_bench, refine_bench, serve_bench, shard_bench
+from repro.bench import adapt_bench, churn_bench, obs_bench, refine_bench, serve_bench
+from repro.bench import shard_bench
 from repro.bench import table1, table2, table3, table4, table5, training_bench
 from repro.bench.config import BenchConfig
 from repro.bench.workbench import Workbench
@@ -41,6 +42,7 @@ RUNNERS = {
     "refine": refine_bench.run,
     "adapt": adapt_bench.run,
     "shard": shard_bench.run,
+    "obs": obs_bench.run,
 }
 
 

@@ -76,6 +76,15 @@ class BenchConfig:
     shard_batch: int = 65_536
     #: Sharding benchmark: shard-count sweep (process backend).
     shard_counts: tuple[int, ...] = (1, 2, 4, 8)
+    #: Observability benchmark: requests streamed per tracing mode.
+    obs_requests: int = 200_000
+    #: Observability benchmark: batch size per dispatch.
+    obs_batch: int = 4_096
+    #: Observability benchmark: repetitions per mode (best-of).
+    obs_reps: int = 3
+    #: Observability benchmark: accepted overhead (percent) of the
+    #: tracing-disabled service vs. the uninstrumented path.
+    obs_overhead_bound: float = 2.0
     #: Base RNG seed for every generator.
     seed: int = 42
 
@@ -109,6 +118,10 @@ class BenchConfig:
             shard_points=60_000,
             shard_batch=16_384,
             shard_counts=(1, 2),
+            obs_requests=30_000,
+            obs_batch=2_048,
+            obs_reps=2,
+            obs_overhead_bound=25.0,
         )
 
     @staticmethod

@@ -279,9 +279,26 @@ class AdaptiveController:
         self,
         policy: AdaptationPolicy | None = None,
         swap: Callable[[str, object], object] | None = None,
+        events=None,
+        metrics=None,
     ):
         self.policy = policy or AdaptationPolicy()
         self._swap = swap
+        # Optional telemetry plane: an event log receiving one structured
+        # "retrain"/"retrain_failed" record per background attempt, and a
+        # metrics registry keeping labeled outcome counters.
+        self._events = events
+        if metrics is not None:
+            self._retrain_counters = {
+                outcome: metrics.counter(
+                    "adapt_retrains_total",
+                    "background retrain attempts by outcome",
+                    labels={"outcome": outcome},
+                )
+                for outcome in ("completed", "failed")
+            }
+        else:
+            self._retrain_counters = None
         self._lock = threading.Lock()
         self._telemetry: dict[str, LayerTelemetry] = {}
         self._retraining: dict[str, bool] = {}
@@ -408,10 +425,25 @@ class AdaptiveController:
                 self._completed[layer] = self._completed.get(layer, 0) + 1
                 self._last_version[layer] = version
                 self._last_training_ids[layer] = training_ids
+            if self._retrain_counters is not None:
+                self._retrain_counters["completed"].inc()
+            if self._events is not None:
+                self._events.emit(
+                    "retrain",
+                    layer=layer,
+                    version=version,
+                    training_cells=int(len(training_ids)),
+                )
         except Exception as exc:  # surfaced via stats + last_error
             with self._lock:
                 self._failed[layer] = self._failed.get(layer, 0) + 1
                 self._last_error = exc
+            if self._retrain_counters is not None:
+                self._retrain_counters["failed"].inc()
+            if self._events is not None:
+                self._events.emit(
+                    "retrain_failed", layer=layer, error=repr(exc)
+                )
         finally:
             with self._lock:
                 self._retraining[layer] = False

@@ -233,6 +233,8 @@ class DynamicPolygonIndex:
         training_cell_ids: np.ndarray | None = None,
         training_max_cells: int | None = None,
         store_factory: Callable[[SuperCovering, LookupTable], object] | None = None,
+        events=None,
+        metrics=None,
     ):
         if compact_threshold is not None and compact_threshold < 1:
             raise ValueError("compact_threshold must be >= 1 (or None)")
@@ -245,6 +247,17 @@ class DynamicPolygonIndex:
         self._training_max_cells = training_max_cells
         self._training_order = "arrival"
         self._store_factory = store_factory
+        # Optional telemetry plane: one "compaction" event per installed
+        # snapshot, and a monotone compaction counter in the registry.
+        self._events = events
+        self._compaction_counter = (
+            metrics.counter(
+                "index_compactions_total",
+                "delta compactions installed",
+            )
+            if metrics is not None
+            else None
+        )
         self._fanout_bits = int(getattr(base.store, "fanout_bits", 8))
         self._compactor: threading.Thread | None = None
         self._compaction_active = False  # owned by _lock, unlike is_alive()
@@ -272,6 +285,8 @@ class DynamicPolygonIndex:
         store_factory: Callable[[SuperCovering, LookupTable], object] | None = None,
         compact_threshold: int | None = 64,
         background: bool = False,
+        events=None,
+        metrics=None,
     ) -> "DynamicPolygonIndex":
         """Build the base snapshot and wrap it for online updates."""
         base = PolygonIndex.build(
@@ -293,6 +308,8 @@ class DynamicPolygonIndex:
             training_cell_ids=training_cell_ids,
             training_max_cells=training_max_cells,
             store_factory=store_factory,
+            events=events,
+            metrics=metrics,
         )
 
     # ------------------------------------------------------------------
@@ -638,6 +655,17 @@ class DynamicPolygonIndex:
             if bump_version:
                 self._compactions += 1
                 self._version = next_index_version()
+                if self._compaction_counter is not None:
+                    self._compaction_counter.inc()
+                if self._events is not None:
+                    self._events.emit(
+                        "compaction",
+                        version=int(self._version),
+                        compactions=int(self._compactions),
+                        replayed_ops=len(remaining),
+                        live_polygons=len(self._polygons)
+                        - len(self._tombstones),
+                    )
             self._refresh_view()
             return True
 

@@ -213,11 +213,19 @@ def approximate_join(
     cell_ids: np.ndarray,
     num_polygons: int,
     materialize: bool = False,
+    tracer=None,
 ) -> JoinResult:
-    """Approximate join: candidate hits count as hits (no PIP tests)."""
+    """Approximate join: candidate hits count as hits (no PIP tests).
+
+    ``tracer`` (an optional :class:`~repro.obs.trace.Tracer`) receives
+    the already-measured probe phase as a child span of whatever dispatch
+    span is active in the calling thread — no extra clock reads.
+    """
     with Timer() as probe_timer:
         point_idx, pids, is_true = batch_probe(store, lookup_table, cell_ids)
         counts = np.bincount(pids, minlength=num_polygons)
+    if tracer is not None:
+        tracer.emit("probe", probe_timer.seconds, points=len(cell_ids))
     result = JoinResult(
         num_points=len(cell_ids),
         counts=counts,
@@ -242,8 +250,14 @@ def accurate_join(
     lats: np.ndarray,
     materialize: bool = False,
     engine: RefinementEngine | None = None,
+    tracer=None,
 ) -> JoinResult:
-    """Accurate join: candidate hits are refined with PIP tests."""
+    """Accurate join: candidate hits are refined with PIP tests.
+
+    ``tracer`` (an optional :class:`~repro.obs.trace.Tracer`) receives
+    the already-measured probe and refine phases as child spans of
+    whatever dispatch span is active in the calling thread.
+    """
     with Timer() as probe_timer:
         point_idx, pids, is_true = batch_probe(store, lookup_table, cell_ids)
     with Timer() as refine_timer:
@@ -251,6 +265,9 @@ def accurate_join(
             point_idx, pids, is_true, polygons, lngs, lats, engine=engine
         )
         counts = np.bincount(keep_pids, minlength=len(polygons))
+    if tracer is not None:
+        tracer.emit("probe", probe_timer.seconds, points=len(cell_ids))
+        tracer.emit("refine", refine_timer.seconds, pip_tests=int(num_pip))
     result = JoinResult(
         num_points=len(cell_ids),
         counts=counts,

@@ -46,6 +46,7 @@ class MicroBatcher:
         *,
         max_batch: int = 256,
         max_wait_ms: float = 2.0,
+        metrics=None,
     ):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -57,6 +58,18 @@ class MicroBatcher:
         self._closed = False
         self._batches_dispatched = 0
         self._requests_dispatched = 0
+        if metrics is not None:
+            self._depth_gauge = metrics.gauge(
+                "serve_queue_depth", "pending single-point lookups"
+            )
+            self._batch_hist = metrics.histogram(
+                "serve_batch_size",
+                "requests per coalesced micro-batch",
+                buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048),
+            )
+        else:
+            self._depth_gauge = None
+            self._batch_hist = None
         self._thread = threading.Thread(
             target=self._run, name="repro-serve-batcher", daemon=True
         )
@@ -69,6 +82,8 @@ class MicroBatcher:
             if self._closed:
                 raise RuntimeError("batcher is closed")
             self._queue.append(request)
+            if self._depth_gauge is not None:
+                self._depth_gauge.set(len(self._queue))
             self._cond.notify()
         return request.future
 
@@ -112,6 +127,8 @@ class MicroBatcher:
                     self._queue.popleft()
                     for _ in range(min(self.max_batch, len(self._queue)))
                 ]
+                if self._depth_gauge is not None:
+                    self._depth_gauge.set(len(self._queue))
             if batch:
                 self._dispatch(batch)
 
@@ -132,6 +149,8 @@ class MicroBatcher:
                 continue
             self._batches_dispatched += 1
             self._requests_dispatched += len(live)
+            if self._batch_hist is not None:
+                self._batch_hist.observe(len(live))
             try:
                 self._flush(layer, exact, live)
             except BaseException as exc:  # propagate to every waiting caller

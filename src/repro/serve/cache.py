@@ -180,16 +180,21 @@ class CachedCellStore:
     receives the unique keys, their point weights, and the resolved
     entries — piggybacking on the dedup work the cache already did, so
     hot-path telemetry costs no extra passes over the points.
+
+    ``tracer`` is an optional :class:`~repro.obs.trace.Tracer`; LRU hits
+    and misses of each batch show up as a ``cache_lookup`` child span of
+    the active dispatch.
     """
 
     def __init__(self, store, cache: HotCellCache, key_shift: int = 0,
-                 recorder=None):
+                 recorder=None, tracer=None):
         if not 0 <= key_shift < 64:
             raise ValueError(f"key_shift must be in [0, 64), got {key_shift}")
         self.store = store
         self.cache = cache
         self.key_shift = key_shift
         self.recorder = recorder
+        self.tracer = tracer
 
     def probe(self, query_ids: np.ndarray) -> np.ndarray:
         query_ids = np.asarray(query_ids, dtype=np.uint64)
@@ -208,7 +213,16 @@ class CachedCellStore:
             full = self.store.probe(query_ids)
             self.recorder.record(unique_keys, weights, full[first_index])
             return full
-        cached, miss_slots = self.cache.get_many(unique_keys.tolist(), weights)
+        if self.tracer is not None:
+            with self.tracer.span("cache_lookup") as span:
+                cached, miss_slots = self.cache.get_many(
+                    unique_keys.tolist(), weights
+                )
+                span.set(keys=len(unique_keys), misses=len(miss_slots))
+        else:
+            cached, miss_slots = self.cache.get_many(
+                unique_keys.tolist(), weights
+            )
         entries = np.asarray(
             [entry if entry is not None else 0 for entry in cached],
             dtype=np.uint64,
@@ -236,7 +250,7 @@ class CachedCellStore:
         # ``self.store`` would recurse forever, so anything that should
         # live on the wrapper itself raises AttributeError instead.
         if name.startswith("__") or name in (
-            "store", "cache", "key_shift", "recorder",
+            "store", "cache", "key_shift", "recorder", "tracer",
         ):
             raise AttributeError(
                 f"{type(self).__name__!r} object has no attribute {name!r}"

@@ -27,7 +27,8 @@ class MorselExecutor:
     balance automatically.
     """
 
-    def __init__(self, num_threads: int, morsel_size: int = 1 << 14):
+    def __init__(self, num_threads: int, morsel_size: int = 1 << 14,
+                 metrics=None):
         if num_threads < 1:
             raise ValueError(f"num_threads must be >= 1, got {num_threads}")
         if morsel_size < 1:
@@ -36,6 +37,15 @@ class MorselExecutor:
         self.morsel_size = morsel_size
         self._pool = ThreadPoolExecutor(
             max_workers=num_threads, thread_name_prefix="repro-serve"
+        )
+        self._morsel_hist = (
+            metrics.histogram(
+                "serve_morsels_per_dispatch",
+                "morsel ranges a parallel dispatch split into",
+                buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+            )
+            if metrics is not None
+            else None
         )
 
     def map_morsels(
@@ -49,6 +59,8 @@ class MorselExecutor:
         doomed.  The first exception (in failure order) is re-raised.
         """
         num_morsels = (num_items + self.morsel_size - 1) // self.morsel_size
+        if self._morsel_hist is not None and num_morsels:
+            self._morsel_hist.observe(num_morsels)
         if num_morsels <= 1:
             return [work(0, num_items)] if num_items else []
         counter = itertools.count()  # the shared atomic morsel counter

@@ -33,6 +33,8 @@ import numpy as np
 from repro.core.adaptive import AdaptationPolicy, AdaptiveController
 from repro.core.builder import ProbeView
 from repro.core.joins import JoinResult, accurate_join, approximate_join
+from repro.obs import DispatchMeters, Observability
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.serve.batching import LookupRequest, MicroBatcher
 from repro.serve.cache import (
     CachedCellStore,
@@ -75,6 +77,14 @@ class JoinService:
         drops below the policy target are retrained on the observed
         traffic in the background and swapped in without downtime.
         ``None`` (default) disables telemetry and retraining entirely.
+    latency_window:
+        Dispatches held for the percentile window in ``stats()``.
+    obs:
+        An :class:`~repro.obs.Observability` bundle wires the telemetry
+        plane in: dispatches open phase-tracer spans, a metrics registry
+        counts points/pairs/PIP tests and feeds per-phase latency
+        histograms, and swaps land in the structured event log.  ``None``
+        (default) routes every instrumentation point to shared no-ops.
     """
 
     def __init__(
@@ -89,13 +99,23 @@ class JoinService:
         morsel_size: int = 1 << 14,
         latency_window: int = 8192,
         adaptation: AdaptationPolicy | None = None,
+        obs: Observability | None = None,
     ):
         if not isinstance(layers, Mapping):
             layers = {DEFAULT_LAYER: layers}
         self._router = LayerRouter(layers, default=default_layer)
         self._cache_cells = cache_cells
+        self._obs = obs
+        self._tracer: Tracer = obs.tracer if obs is not None else NULL_TRACER
+        self._events = obs.events if obs is not None else None
+        self._meters = DispatchMeters(obs.metrics) if obs is not None else None
         self._adaptive = (
-            AdaptiveController(adaptation, swap=self.swap_layer)
+            AdaptiveController(
+                adaptation,
+                swap=self.swap_layer,
+                events=self._events,
+                metrics=obs.metrics if obs is not None else None,
+            )
             if adaptation is not None
             else None
         )
@@ -109,11 +129,17 @@ class JoinService:
         for name, index in self._router.items():
             self._attach_view(name, index.probe_view())
         self._recorder = LatencyRecorder(window=latency_window)
+        metrics = obs.metrics if obs is not None else None
         self._executor = (
-            MorselExecutor(num_threads, morsel_size) if num_threads > 1 else None
+            MorselExecutor(num_threads, morsel_size, metrics=metrics)
+            if num_threads > 1
+            else None
         )
         self._batcher = MicroBatcher(
-            self._flush_lookups, max_batch=max_batch, max_wait_ms=max_wait_ms
+            self._flush_lookups,
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+            metrics=metrics,
         )
         self._closed = False
 
@@ -140,6 +166,7 @@ class JoinService:
             cache,
             key_shift=key_shift,
             recorder=recorder,
+            tracer=self._tracer,
         )
         self._caches[key] = cache
         self._stores[key] = store
@@ -163,7 +190,12 @@ class JoinService:
         """Register an additional polygon layer on the live service."""
         with self._attach_lock:
             self._router.add(name, index)
-            self._attach_view(name, index.probe_view())
+            view = index.probe_view()
+            self._attach_view(name, view)
+        if self._events is not None:
+            self._events.emit(
+                "add_layer", layer=name, version=int(view.version)
+            )
 
     def swap_layer(self, name: str, index: JoinableIndex) -> JoinableIndex:
         """Atomically replace a layer with a newer versioned snapshot.
@@ -174,8 +206,11 @@ class JoinService:
         """
         with self._attach_lock:
             previous = self._router.swap(name, index)
-            self._attach_view(name, index.probe_view())
-            return previous
+            view = index.probe_view()
+            self._attach_view(name, view)
+        if self._events is not None:
+            self._events.emit("swap", layer=name, version=int(view.version))
+        return previous
 
     @property
     def layers(self) -> tuple[str, ...]:
@@ -253,21 +288,28 @@ class JoinService:
         lats = np.fromiter((r.lat for r in requests), np.float64, len(requests))
         lngs = np.fromiter((r.lng for r in requests), np.float64, len(requests))
         with Timer() as timer:
-            cell_ids = index.cell_ids_for(lats, lngs)
-            result = self._dispatch(
-                name, index, cell_ids, lats, lngs, exact, materialize=True
-            )
-            per_point: list[list[int]] = [[] for _ in requests]
-            for point, pid in zip(
-                result.pair_points.tolist(), result.pair_polygons.tolist()
+            with self._tracer.dispatch(
+                "dispatch", layer=name, points=len(requests), kind="lookup"
             ):
-                per_point[point].append(int(pid))
+                cell_ids = index.cell_ids_for(lats, lngs)
+                result = self._dispatch(
+                    name, index, cell_ids, lats, lngs, exact, materialize=True
+                )
+                with self._tracer.span("scatter"):
+                    per_point: list[list[int]] = [[] for _ in requests]
+                    for point, pid in zip(
+                        result.pair_points.tolist(),
+                        result.pair_polygons.tolist(),
+                    ):
+                        per_point[point].append(int(pid))
         self._recorder.record(
             requests=len(requests),
             points=len(requests),
             pairs=result.num_pairs,
             seconds=timer.seconds,
         )
+        if self._meters is not None:
+            self._meters.observe(result, timer.seconds)
         for request, pids in zip(requests, per_point):
             request.future.set_result(sorted(pids))
 
@@ -298,19 +340,24 @@ class JoinService:
         lats = np.asarray(lats, dtype=np.float64)
         lngs = np.asarray(lngs, dtype=np.float64)
         with Timer() as timer:
-            if cell_ids is None:
-                cell_ids = index.cell_ids_for(lats, lngs)
-            else:
-                cell_ids = np.asarray(cell_ids, dtype=np.uint64)
-            result = self._dispatch(
-                name, index, cell_ids, lats, lngs, exact, materialize
-            )
+            with self._tracer.dispatch(
+                "dispatch", layer=name, points=len(lats), exact=exact
+            ):
+                if cell_ids is None:
+                    cell_ids = index.cell_ids_for(lats, lngs)
+                else:
+                    cell_ids = np.asarray(cell_ids, dtype=np.uint64)
+                result = self._dispatch(
+                    name, index, cell_ids, lats, lngs, exact, materialize
+                )
         self._recorder.record(
             requests=1,
             points=len(lats),
             pairs=result.num_pairs,
             seconds=timer.seconds,
         )
+        if self._meters is not None:
+            self._meters.observe(result, timer.seconds)
         return result
 
     def join_layers(
@@ -334,11 +381,15 @@ class JoinService:
         results: dict[str, JoinResult] = {}
         for position, (name, index) in enumerate(routed):
             with Timer() as timer:
-                if cell_ids is None:
-                    cell_ids = index.cell_ids_for(lats, lngs)
-                results[name] = self._dispatch(
-                    name, index, cell_ids, lats, lngs, exact, materialize=False
-                )
+                with self._tracer.dispatch(
+                    "dispatch", layer=name, points=len(lats), exact=exact
+                ):
+                    if cell_ids is None:
+                        cell_ids = index.cell_ids_for(lats, lngs)
+                    results[name] = self._dispatch(
+                        name, index, cell_ids, lats, lngs, exact,
+                        materialize=False,
+                    )
             # One client-visible request for the whole fan-out; points
             # count per layer (each layer joins the full batch).
             self._recorder.record(
@@ -347,6 +398,8 @@ class JoinService:
                 pairs=results[name].num_pairs,
                 seconds=timer.seconds,
             )
+            if self._meters is not None:
+                self._meters.observe(results[name], timer.seconds)
         return results
 
     # ------------------------------------------------------------------
@@ -398,7 +451,13 @@ class JoinService:
         exact: bool,
         materialize: bool,
     ) -> JoinResult:
-        """One vectorized join through the layer's cached store."""
+        """One vectorized join through the layer's cached store.
+
+        The tracer rides along so the kernels can emit ``probe`` /
+        ``refine`` child spans from their own timers; on morsel worker
+        threads (no active dispatch span) those emits no-op and the
+        merged phases are synthesized in :meth:`_dispatch_morsels`.
+        """
         if exact:
             return accurate_join(
                 store,
@@ -409,6 +468,7 @@ class JoinService:
                 lats,
                 materialize=materialize,
                 engine=view.refiner,
+                tracer=self._tracer,
             )
         return approximate_join(
             store,
@@ -416,6 +476,7 @@ class JoinService:
             cell_ids,
             len(view.polygons),
             materialize=materialize,
+            tracer=self._tracer,
         )
 
     def _dispatch_morsels(
@@ -453,24 +514,33 @@ class JoinService:
         refine_wall = (
             timer.seconds * refine_total / busy_total if busy_total > 0 else 0.0
         )
-        merged = JoinResult(
-            num_points=len(cell_ids),
-            counts=np.sum([p.counts for p in parts], axis=0),
-            num_pairs=sum(p.num_pairs for p in parts),
-            num_true_hit_pairs=sum(p.num_true_hit_pairs for p in parts),
-            num_candidate_pairs=sum(p.num_candidate_pairs for p in parts),
-            num_pip_tests=sum(p.num_pip_tests for p in parts),
-            solely_true_hits=sum(p.solely_true_hits for p in parts),
-            probe_seconds=timer.seconds - refine_wall,
-            refine_seconds=refine_wall,
+        # Morsel workers run with empty span stacks, so the per-chunk
+        # probe/refine spans no-op'd; synthesize the merged phases from
+        # the same apportioned wall times the JoinResult reports.
+        self._tracer.emit(
+            "probe", timer.seconds - refine_wall, morsels=len(parts)
         )
-        if materialize:
-            merged.pair_points = np.concatenate(
-                [p.pair_points for p in parts]
+        if refine_wall > 0.0:
+            self._tracer.emit("refine", refine_wall, morsels=len(parts))
+        with self._tracer.span("merge", morsels=len(parts)):
+            merged = JoinResult(
+                num_points=len(cell_ids),
+                counts=np.sum([p.counts for p in parts], axis=0),
+                num_pairs=sum(p.num_pairs for p in parts),
+                num_true_hit_pairs=sum(p.num_true_hit_pairs for p in parts),
+                num_candidate_pairs=sum(p.num_candidate_pairs for p in parts),
+                num_pip_tests=sum(p.num_pip_tests for p in parts),
+                solely_true_hits=sum(p.solely_true_hits for p in parts),
+                probe_seconds=timer.seconds - refine_wall,
+                refine_seconds=refine_wall,
             )
-            merged.pair_polygons = np.concatenate(
-                [p.pair_polygons for p in parts]
-            )
+            if materialize:
+                merged.pair_points = np.concatenate(
+                    [p.pair_points for p in parts]
+                )
+                merged.pair_polygons = np.concatenate(
+                    [p.pair_polygons for p in parts]
+                )
         return merged
 
     # ------------------------------------------------------------------
@@ -481,6 +551,16 @@ class JoinService:
     def adaptation(self) -> AdaptiveController | None:
         """The adaptation controller, or ``None`` when self-tuning is off."""
         return self._adaptive
+
+    @property
+    def obs(self) -> Observability | None:
+        """The observability bundle, or ``None`` when telemetry is off."""
+        return self._obs
+
+    @property
+    def tracer(self) -> Tracer:
+        """The phase tracer (the shared disabled tracer when ``obs=None``)."""
+        return self._tracer
 
     def stats(self) -> ServiceStats:
         """Immutable snapshot: latency percentiles, throughput, cache,
@@ -507,6 +587,7 @@ class JoinService:
                 version=index.probe_view().version,
                 delta_size=int(getattr(index, "delta_size", 0)),
                 num_polygons=index.num_polygons,
+                compactions=int(getattr(index, "compactions", 0)),
             )
         adaptation = self._adaptive.status() if self._adaptive is not None else {}
         return self._recorder.snapshot(cache_stats, layer_status, adaptation)

@@ -66,6 +66,8 @@ from repro.core.builder import (
 )
 from repro.core.joins import JoinResult
 from repro.geo.polygon import Polygon
+from repro.obs import DispatchMeters, Observability, ObsConfig
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.serve.batching import LookupRequest, MicroBatcher
 from repro.serve.cache import CacheStats
 from repro.serve.router import LayerRouter
@@ -207,6 +209,7 @@ class _WorkerPayload:
     parts: dict[str, _ShardPart]  # layer name -> partition
     cache_cells: int
     adaptation: AdaptationPolicy | None
+    obs: ObsConfig | None = None  # worker-side observability settings
 
 
 def _part_for(plan: ShardPlan, shard: int, index: PolygonIndex) -> _ShardPart:
@@ -256,6 +259,7 @@ def _build_shard_service(payload: _WorkerPayload) -> JoinService:
         cache_cells=payload.cache_cells,
         num_threads=1,  # share-nothing: one process == one lane of work
         adaptation=payload.adaptation,
+        obs=Observability.from_config(payload.obs),
     )
 
 
@@ -319,16 +323,47 @@ def _read_shm_batch(
     return lats, lngs, cells
 
 
-def _worker_join(service: JoinService, msg: tuple) -> JoinResult:
-    _, layer, shm_name, total, offset, count, exact, materialize = msg
+def _traced_service_join(
+    service: JoinService,
+    shard: int,
+    trace: tuple[int, int] | None,
+    lats: np.ndarray,
+    lngs: np.ndarray,
+    cells: np.ndarray,
+    layer: str,
+    exact: bool,
+    materialize: bool,
+):
+    """Run one shard-side join, adopting the front's trace context.
+
+    ``trace`` is the front dispatch's ``(trace_id, parent_span_id)`` (or
+    ``None`` when the dispatch is untraced).  A traced join opens a
+    ``shard`` root under the remote parent — the shard service's own
+    ``dispatch``/``probe``/``refine`` spans nest beneath it — and returns
+    ``(result, finished_spans)`` so the records travel back over the pipe
+    for the front to adopt.  Shared by both backends, so the inline
+    backend exercises the exact propagation path the process backend
+    uses.
+    """
+    if trace is None:
+        return service.join(
+            lats, lngs, layer=layer, exact=exact, materialize=materialize,
+            cell_ids=cells,
+        )
+    tracer = service.tracer
+    with tracer.remote_root("shard", trace, shard=shard):
+        result = service.join(
+            lats, lngs, layer=layer, exact=exact, materialize=materialize,
+            cell_ids=cells,
+        )
+    return result, tracer.take_last_trace()
+
+
+def _worker_join(service: JoinService, msg: tuple, shard: int):
+    _, layer, shm_name, total, offset, count, exact, materialize, trace = msg
     lats, lngs, cells = _read_shm_batch(shm_name, total, offset, count)
-    return service.join(
-        lats,
-        lngs,
-        layer=layer,
-        exact=exact,
-        materialize=materialize,
-        cell_ids=cells,
+    return _traced_service_join(
+        service, shard, trace, lats, lngs, cells, layer, exact, materialize
     )
 
 
@@ -360,7 +395,7 @@ def _shard_worker_main(conn, payload: _WorkerPayload) -> None:
                 break
             try:
                 if msg[0] == "join":
-                    reply = ("ok", _worker_join(service, msg))
+                    reply = ("ok", _worker_join(service, msg, payload.shard))
                 else:
                     reply = ("ok", _apply_admin(service, msg))
             except BaseException:
@@ -450,10 +485,11 @@ class _ProcessShard:
         count: int,
         exact: bool,
         materialize: bool,
+        trace: tuple[int, int] | None = None,
     ) -> None:
         self.start(
             ("join", layer, batch.name, batch.total, offset, count, exact,
-             materialize)
+             materialize, trace)
         )
 
     def finish(self) -> object:
@@ -513,16 +549,20 @@ class _InlineShard:
         count: int,
         exact: bool,
         materialize: bool,
+        trace: tuple[int, int] | None = None,
     ) -> None:
         window = slice(offset, offset + count)
         try:
-            result = self._service.join(
+            result = _traced_service_join(
+                self._service,
+                self.shard,
+                trace,
                 batch.lats[window],
                 batch.lngs[window],
-                layer=layer,
-                exact=exact,
-                materialize=materialize,
-                cell_ids=batch.cells[window],
+                batch.cells[window],
+                layer,
+                exact,
+                materialize,
             )
         except BaseException as exc:
             self._pending = ("err", exc)
@@ -619,6 +659,14 @@ class ShardedJoinService:
         Defaults to ``"spawn"`` — the worker entry point is module-level
         and payloads are pickled explicitly, so workers never depend on
         forked state.
+    obs:
+        An :class:`~repro.obs.Observability` bundle for the front.  Its
+        picklable settings also ship inside every worker payload, so
+        shard workers run their own tracer; a traced front dispatch
+        carries its ``(trace_id, span_id)`` context in the join message,
+        the worker opens a ``shard`` root span under that parent, and
+        the finished worker spans return over the pipe to be adopted
+        into the front's ring — one end-to-end trace per dispatch.
 
     ``join`` results are bit-identical (every ``JoinResult`` statistic)
     to the equivalent single-process service and to ``PolygonIndex.join``
@@ -639,6 +687,7 @@ class ShardedJoinService:
         adaptation: AdaptationPolicy | None = None,
         backend: str = "process",
         start_method: str = "spawn",
+        obs: Observability | None = None,
     ):
         if not isinstance(layers, Mapping):
             layers = {DEFAULT_LAYER: layers}
@@ -651,6 +700,10 @@ class ShardedJoinService:
         self.num_shards = num_shards
         self.backend = backend
         self._cache_cells = cache_cells
+        self._obs = obs
+        self._tracer: Tracer = obs.tracer if obs is not None else NULL_TRACER
+        self._events = obs.events if obs is not None else None
+        self._meters = DispatchMeters(obs.metrics) if obs is not None else None
         # The front's layer registry IS a LayerRouter: copy-on-write
         # snapshot reads, default-layer resolution, duplicate/rollback
         # validation — one implementation shared with JoinService.
@@ -668,6 +721,7 @@ class ShardedJoinService:
                 },
                 cache_cells=cache_cells,
                 adaptation=adaptation,
+                obs=obs.config() if obs is not None else None,
             )
             for shard in range(num_shards)
         ]
@@ -698,9 +752,22 @@ class ShardedJoinService:
             for client in self._clients:
                 client.close()
             raise
+        if self._events is not None:
+            for payload in payloads:
+                self._events.emit(
+                    "shard_spawn",
+                    shard=payload.shard,
+                    backend=backend,
+                    num_polygons=sum(
+                        len(part.members) for part in payload.parts.values()
+                    ),
+                )
         self._recorder = LatencyRecorder(window=latency_window)
         self._batcher = MicroBatcher(
-            self._flush_lookups, max_batch=max_batch, max_wait_ms=max_wait_ms
+            self._flush_lookups,
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+            metrics=obs.metrics if obs is not None else None,
         )
 
     # ------------------------------------------------------------------
@@ -735,13 +802,20 @@ class ShardedJoinService:
         lats = np.ascontiguousarray(lats, dtype=np.float64)
         lngs = np.ascontiguousarray(lngs, dtype=np.float64)
         with Timer() as timer:
-            result = self._scatter_join(name, lats, lngs, exact, materialize)
+            with self._tracer.dispatch(
+                "dispatch", layer=name, points=len(lats), exact=exact
+            ):
+                result = self._scatter_join(
+                    name, lats, lngs, exact, materialize
+                )
         self._recorder.record(
             requests=1,
             points=len(lats),
             pairs=result.num_pairs,
             seconds=timer.seconds,
         )
+        if self._meters is not None:
+            self._meters.observe(result, timer.seconds)
         return result
 
     def join_layers(
@@ -765,15 +839,20 @@ class ShardedJoinService:
         results: dict[str, JoinResult] = {}
         for position, (name, _) in enumerate(routed):
             with Timer() as timer:
-                results[name] = self._scatter_join(
-                    name, lats, lngs, exact, False, cell_ids=cell_ids
-                )
+                with self._tracer.dispatch(
+                    "dispatch", layer=name, points=len(lats), exact=exact
+                ):
+                    results[name] = self._scatter_join(
+                        name, lats, lngs, exact, False, cell_ids=cell_ids
+                    )
             self._recorder.record(
                 requests=1 if position == 0 else 0,
                 points=len(lats),
                 pairs=results[name].num_pairs,
                 seconds=timer.seconds,
             )
+            if self._meters is not None:
+                self._meters.observe(results[name], timer.seconds)
         return results
 
     def _scatter_join(
@@ -792,6 +871,10 @@ class ShardedJoinService:
             return _merge_parts(
                 0, len(index.polygons), [], [], None, None, materialize, 0.0
             )
+        # Capture the dispatch root's context BEFORE opening child spans:
+        # worker-side `shard` roots parent to the dispatch itself, as
+        # siblings of the front's scatter/gather/merge phases.
+        trace_ctx = self._tracer.context()
         with self._lock, Timer() as timer:
             # Resolve UNDER the dispatch lock: index, plan, and the
             # workers' sub-indexes always belong to the same generation,
@@ -800,17 +883,21 @@ class ShardedJoinService:
             _, index = self._router.resolve(name)
             num_polygons = len(index.polygons)
             plan = self._plans[name]
-            shard_of = plan.shard_for(cell_ids)
-            order = np.argsort(shard_of, kind="stable")
-            per_shard = np.bincount(shard_of, minlength=plan.num_shards)
-            offsets = np.zeros(plan.num_shards + 1, dtype=np.int64)
-            np.cumsum(per_shard, out=offsets[1:])
-            batch = self._make_batch(lats[order], lngs[order], cell_ids[order])
-            engaged = [
-                shard
-                for shard in range(plan.num_shards)
-                if per_shard[shard] > 0
-            ]
+            with self._tracer.span("scatter", points=len(lats)) as span:
+                shard_of = plan.shard_for(cell_ids)
+                order = np.argsort(shard_of, kind="stable")
+                per_shard = np.bincount(shard_of, minlength=plan.num_shards)
+                offsets = np.zeros(plan.num_shards + 1, dtype=np.int64)
+                np.cumsum(per_shard, out=offsets[1:])
+                batch = self._make_batch(
+                    lats[order], lngs[order], cell_ids[order]
+                )
+                engaged = [
+                    shard
+                    for shard in range(plan.num_shards)
+                    if per_shard[shard] > 0
+                ]
+                span.set(shards=len(engaged))
             try:
                 sends = [
                     (
@@ -822,25 +909,42 @@ class ShardedJoinService:
                             int(per_shard[shard]),
                             exact,
                             materialize,
+                            trace_ctx,
                         ),
                     )
                     for shard in engaged
                 ]
-                gathered, errors = _scatter_gather(sends)
+                with self._tracer.span("gather", shards=len(engaged)):
+                    gathered, errors = _scatter_gather(sends)
                 if errors:
                     raise errors[0]
             finally:
                 batch.close()
-        return _merge_parts(
-            len(lats),
-            num_polygons,
-            [part for _, part in gathered],
-            [engaged[slot] for slot, _ in gathered],
-            order,
-            offsets,
-            materialize,
-            timer.seconds,
-        )
+        # A traced dispatch gets (result, worker_spans) pairs back; fold
+        # the workers' finished spans into the front's ring so the whole
+        # cross-process trace reads from one place.
+        parts: list[JoinResult] = []
+        part_shards: list[int] = []
+        for slot, value in gathered:
+            if trace_ctx is not None:
+                part, worker_spans = value
+                if worker_spans:
+                    self._tracer.adopt(worker_spans)
+            else:
+                part = value
+            parts.append(part)
+            part_shards.append(engaged[slot])
+        with self._tracer.span("merge", shards=len(parts)):
+            return _merge_parts(
+                len(lats),
+                num_polygons,
+                parts,
+                part_shards,
+                order,
+                offsets,
+                materialize,
+                timer.seconds,
+            )
 
     def _make_batch(self, lats, lngs, cells):
         if self.backend == "inline":
@@ -884,18 +988,24 @@ class ShardedJoinService:
         lats = np.fromiter((r.lat for r in requests), np.float64, len(requests))
         lngs = np.fromiter((r.lng for r in requests), np.float64, len(requests))
         with Timer() as timer:
-            result = self._scatter_join(name, lats, lngs, exact, True)
-            per_point: list[list[int]] = [[] for _ in requests]
-            for point, pid in zip(
-                result.pair_points.tolist(), result.pair_polygons.tolist()
+            with self._tracer.dispatch(
+                "dispatch", layer=name, points=len(requests), kind="lookup"
             ):
-                per_point[point].append(int(pid))
+                result = self._scatter_join(name, lats, lngs, exact, True)
+                per_point: list[list[int]] = [[] for _ in requests]
+                for point, pid in zip(
+                    result.pair_points.tolist(),
+                    result.pair_polygons.tolist(),
+                ):
+                    per_point[point].append(int(pid))
         self._recorder.record(
             requests=len(requests),
             points=len(requests),
             pairs=result.num_pairs,
             seconds=timer.seconds,
         )
+        if self._meters is not None:
+            self._meters.observe(result, timer.seconds)
         for request, pids in zip(requests, per_point):
             request.future.set_result(sorted(pids))
 
@@ -937,7 +1047,15 @@ class ShardedJoinService:
             # Publish only after EVERY shard swapped, so dispatches always
             # scatter by the plan matching what the workers serve.
             self._plans[name] = plan
-            return self._router.swap(name, index)
+            previous = self._router.swap(name, index)
+        if self._events is not None:
+            self._events.emit(
+                "swap",
+                layer=name,
+                version=int(index.version),
+                shards=self.num_shards,
+            )
+        return previous
 
     def add_layer(self, name: str, index: PolygonIndex) -> None:
         """Register an additional layer on the live sharded service."""
@@ -957,6 +1075,13 @@ class ShardedJoinService:
             )
             self._plans[name] = plan
             self._router.add(name, index)
+        if self._events is not None:
+            self._events.emit(
+                "add_layer",
+                layer=name,
+                version=int(index.version),
+                shards=self.num_shards,
+            )
 
     def _admin_fan_out(self, messages: list[tuple]) -> None:
         """Scatter one admin message per shard; gather before returning.
@@ -983,6 +1108,16 @@ class ShardedJoinService:
     # ------------------------------------------------------------------
     # Observability & lifecycle
     # ------------------------------------------------------------------
+
+    @property
+    def obs(self) -> Observability | None:
+        """The front's observability bundle (``None`` when telemetry is off)."""
+        return self._obs
+
+    @property
+    def tracer(self) -> Tracer:
+        """The front's phase tracer (the shared disabled tracer if unset)."""
+        return self._tracer
 
     def stats(self) -> ServiceStats:
         """Merged snapshot with per-shard detail in ``stats.shards``.

@@ -11,8 +11,9 @@ lifetime, mirroring how production serving dashboards separate the two.
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
@@ -27,6 +28,7 @@ class LayerStatus:
     version: int  # live snapshot version requests resolve to
     delta_size: int  # pending delta ops (0 for immutable indexes)
     num_polygons: int  # live polygons (holes excluded)
+    compactions: int = 0  # delta merges completed (dynamic indexes only)
 
 
 @dataclass(frozen=True)
@@ -57,6 +59,10 @@ class ServiceStats:
     p50_ms: float
     p99_ms: float
     throughput_pps: float  # points per busy second, lifetime
+    wall_seconds: float  # service start -> snapshot (monotonic)
+    throughput_wall_pps: float  # points per wall-clock second, lifetime
+    latency_window: int  # configured percentile window capacity
+    window_samples: int  # dispatches currently held in the window
     cache: dict[str, CacheStats] = field(default_factory=dict)
     layers: dict[str, LayerStatus] = field(default_factory=dict)
     adaptation: dict[str, AdaptationStatus] = field(default_factory=dict)
@@ -99,18 +105,81 @@ class ServiceStats:
         """Completed adaptation retrains across all layers."""
         return sum(s.retrains_completed for s in self.adaptation.values())
 
+    def to_dict(self) -> dict:
+        """JSON-safe nested dict: scalars, derived rates, sub-statuses.
+
+        Recurses into cache/layer/adaptation/shard sub-statuses so
+        ``json.dumps(stats.to_dict())`` round-trips without a custom
+        encoder; the JSON exporter and bench result printing both build
+        on this.
+        """
+        return {
+            "requests": int(self.requests),
+            "points": int(self.points),
+            "pairs": int(self.pairs),
+            "dispatches": int(self.dispatches),
+            "busy_seconds": float(self.busy_seconds),
+            "mean_ms": float(self.mean_ms),
+            "p50_ms": float(self.p50_ms),
+            "p99_ms": float(self.p99_ms),
+            "throughput_pps": float(self.throughput_pps),
+            "wall_seconds": float(self.wall_seconds),
+            "throughput_wall_pps": float(self.throughput_wall_pps),
+            "latency_window": int(self.latency_window),
+            "window_samples": int(self.window_samples),
+            "mean_batch_size": float(self.mean_batch_size),
+            "cache_hit_rate": float(self.cache_hit_rate),
+            "live_sth_rate": float(self.live_sth_rate),
+            "retrains": int(self.retrains),
+            "cache": {
+                name: {
+                    "capacity": int(stats.capacity),
+                    "size": int(stats.size),
+                    "hits": int(stats.hits),
+                    "misses": int(stats.misses),
+                    "evictions": int(stats.evictions),
+                    "requests": int(stats.requests),
+                    "hit_rate": float(stats.hit_rate),
+                }
+                for name, stats in self.cache.items()
+            },
+            "layers": {
+                name: asdict(status) for name, status in self.layers.items()
+            },
+            "adaptation": {
+                name: asdict(status)
+                for name, status in self.adaptation.items()
+            },
+            "shards": [
+                {
+                    "shard": int(status.shard),
+                    "num_polygons": int(status.num_polygons),
+                    "stats": status.stats.to_dict(),
+                }
+                for status in self.shards
+            ],
+        }
+
 
 class LatencyRecorder:
     """Thread-safe dispatch recorder behind :class:`ServiceStats`."""
 
     def __init__(self, window: int = 8192):
+        if window < 1:
+            raise ValueError(f"latency window must be >= 1, got {window}")
         self._samples: deque[float] = deque(maxlen=window)
         self._lock = threading.Lock()
+        self._started = time.monotonic()
         self._requests = 0
         self._points = 0
         self._pairs = 0
         self._dispatches = 0
         self._busy_seconds = 0.0
+
+    @property
+    def window(self) -> int:
+        """Configured window capacity (dispatches held for percentiles)."""
+        return self._samples.maxlen or 0
 
     def record(
         self, *, requests: int, points: int, pairs: int, seconds: float
@@ -149,7 +218,13 @@ class LatencyRecorder:
             p99_ms = float(np.percentile(samples, 99) * 1e3)
         else:
             mean_ms = p50_ms = p99_ms = 0.0
+        # Busy-seconds throughput sums per-dispatch durations, so with
+        # concurrent dispatch the denominator double-counts overlapped
+        # wall time; wall throughput (start -> snapshot) is the honest
+        # rate a load generator observes.
         throughput = points / busy if busy > 0 else 0.0
+        wall = time.monotonic() - self._started
+        throughput_wall = points / wall if wall > 0 else 0.0
         return ServiceStats(
             requests=requests,
             points=points,
@@ -160,6 +235,10 @@ class LatencyRecorder:
             p50_ms=p50_ms,
             p99_ms=p99_ms,
             throughput_pps=throughput,
+            wall_seconds=wall,
+            throughput_wall_pps=throughput_wall,
+            latency_window=self.window,
+            window_samples=len(window),
             cache=dict(cache or {}),
             layers=dict(layers or {}),
             adaptation=dict(adaptation or {}),

@@ -833,6 +833,84 @@ class TestLatencyRecorderLocking:
         assert snap.p99_ms == pytest.approx(float(np.percentile(window, 99) * 1e3))
         assert snap.mean_ms == pytest.approx(float(window.mean() * 1e3))
 
+    def test_concurrent_record_and_snapshot_totals(self):
+        """Hammer record() from many threads against live snapshots.
+
+        Every snapshot taken mid-flight must be internally consistent
+        (bounded window, totals that never exceed what was recorded) and
+        the final snapshot must account for every record exactly.
+        """
+        recorder = LatencyRecorder(window=128)
+        num_threads, per_thread = 8, 500
+        start = threading.Barrier(num_threads + 1)
+
+        def writer():
+            start.wait()
+            for _ in range(per_thread):
+                recorder.record(requests=1, points=2, pairs=3, seconds=1e-6)
+
+        threads = [threading.Thread(target=writer) for _ in range(num_threads)]
+        for thread in threads:
+            thread.start()
+        start.wait()
+        total = num_threads * per_thread
+        for _ in range(50):
+            snap = recorder.snapshot()
+            assert snap.window_samples <= snap.latency_window == 128
+            assert snap.dispatches <= total
+            assert snap.points == 2 * snap.dispatches
+        for thread in threads:
+            thread.join()
+        final = recorder.snapshot()
+        assert final.requests == total
+        assert final.dispatches == total
+        assert final.points == 2 * total
+        assert final.pairs == 3 * total
+        assert final.busy_seconds == pytest.approx(total * 1e-6)
+        assert final.window_samples == 128
+
+
+class TestLatencyRecorderWindow:
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder(window=0)
+
+    def test_window_surfaced_in_snapshot(self):
+        recorder = LatencyRecorder(window=16)
+        assert recorder.window == 16
+        for _ in range(5):
+            recorder.record(requests=1, points=1, pairs=0, seconds=1e-4)
+        snap = recorder.snapshot()
+        assert snap.latency_window == 16
+        assert snap.window_samples == 5
+        for _ in range(20):
+            recorder.record(requests=1, points=1, pairs=0, seconds=1e-4)
+        assert recorder.snapshot().window_samples == 16  # saturated
+
+    def test_service_latency_window_configurable(self, index, points):
+        lats, lngs = points
+        with JoinService(index, latency_window=4) as svc:
+            for lo in range(0, 3500, 500):
+                svc.join(lats[lo : lo + 500], lngs[lo : lo + 500])
+            stats = svc.stats()
+        assert stats.latency_window == 4
+        assert stats.window_samples == 4  # window wrapped: 7 dispatches
+        assert stats.dispatches == 7  # ...but totals keep the lifetime
+
+    def test_wall_clock_throughput(self):
+        recorder = LatencyRecorder(window=8)
+        recorder.record(requests=1, points=10_000, pairs=0, seconds=1e-4)
+        time.sleep(0.05)
+        snap = recorder.snapshot()
+        # Busy throughput divides by summed dispatch time (1e-4 s) and so
+        # wildly overstates the observed rate; wall throughput divides by
+        # start->snapshot elapsed time.
+        assert snap.wall_seconds >= 0.05
+        assert snap.throughput_wall_pps == pytest.approx(
+            snap.points / snap.wall_seconds
+        )
+        assert snap.throughput_wall_pps < snap.throughput_pps
+
 
 class TestStatsNewestGeneration:
     def test_stale_generation_never_masks_live_stats(self, index, points):
