@@ -35,6 +35,8 @@ from repro.core import (
     AdaptiveCellTrie,
     CompressedCellTrie,
     DynamicPolygonIndex,
+    FlatPolygonIndex,
+    FlatSnapshot,
     JoinResult,
     LookupTable,
     PolygonIndex,
@@ -42,6 +44,7 @@ from repro.core import (
     SuperCovering,
     accurate_join,
     approximate_join,
+    as_flat_index,
     build_super_covering,
     load_index,
     refine_to_precision,
@@ -66,7 +69,7 @@ from repro.serve import (
     ServiceStats,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "CellId",
@@ -78,6 +81,9 @@ __all__ = [
     "AdaptationStatus",
     "AdaptiveCellTrie",
     "CompressedCellTrie",
+    "FlatPolygonIndex",
+    "FlatSnapshot",
+    "as_flat_index",
     "JoinResult",
     "LookupTable",
     "PolygonIndex",

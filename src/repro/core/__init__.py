@@ -15,7 +15,10 @@
 * :mod:`repro.core.dynamic` — the dynamic index lifecycle: delta overlays,
   tombstones, and background compaction over an immutable base snapshot,
 * :mod:`repro.core.adaptive` — the online adaptation loop: refinement
-  telemetry, drift detection, and background retraining of live layers.
+  telemetry, drift detection, and background retraining of live layers,
+* :mod:`repro.core.flat` — the zero-copy snapshot plane: one probe
+  generation packed into contiguous buffers, attachable from disk
+  (mmap) or shared memory with bit-identical probe results.
 """
 
 from repro.core.refs import PolygonRef, merge_refs
@@ -57,6 +60,15 @@ from repro.core.dynamic import (
     DynamicPolygonIndex,
     OverlayCellStore,
 )
+from repro.core.flat import (
+    FlatCellStore,
+    FlatPolygonIndex,
+    FlatProbeView,
+    FlatSnapshot,
+    as_flat_index,
+    attach_index,
+    pack_index,
+)
 from repro.core.serialize import load_index, save_index
 
 __all__ = [
@@ -91,6 +103,13 @@ __all__ = [
     "DynamicIndexState",
     "DynamicPolygonIndex",
     "OverlayCellStore",
+    "FlatCellStore",
+    "FlatPolygonIndex",
+    "FlatProbeView",
+    "FlatSnapshot",
+    "as_flat_index",
+    "attach_index",
+    "pack_index",
     "save_index",
     "load_index",
 ]

@@ -522,12 +522,13 @@ class PolygonIndex:
         return new_pid
 
     def _rebuild_store(self) -> None:
-        if not isinstance(self.store, AdaptiveCellTrie):
+        fanout_bits = getattr(self.store, "fanout_bits", None)
+        if fanout_bits is None:
             raise NotImplementedError(
-                "polygon insertion is only wired up for the ACT store"
+                "polygon insertion is only wired up for ACT-family stores"
             )
         self.store, self.lookup_table = build_store(
-            self.super_covering, fanout_bits=self.store.fanout_bits
+            self.super_covering, fanout_bits=fanout_bits
         )
         self.version = next_index_version()
         self._probe_view = None
@@ -552,9 +553,10 @@ class PolygonIndex:
         Join results are unchanged by construction — training only splits
         cells, which never alters any point's reference set.
         """
-        if not isinstance(self.store, AdaptiveCellTrie):
+        fanout_bits = getattr(self.store, "fanout_bits", None)
+        if fanout_bits is None:
             raise NotImplementedError(
-                "online retraining is only wired up for the ACT store"
+                "online retraining is only wired up for ACT-family stores"
             )
         covering = self.super_covering.copy()
         with Timer() as train_timer:
@@ -566,9 +568,7 @@ class PolygonIndex:
                 order=order,
             )
         with Timer() as store_timer:
-            store, lookup_table = build_store(
-                covering, fanout_bits=self.store.fanout_bits
-            )
+            store, lookup_table = build_store(covering, fanout_bits=fanout_bits)
         timings = BuildTimings(
             training_seconds=train_timer.seconds,
             store_build_seconds=store_timer.seconds,

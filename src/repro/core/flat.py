@@ -1,0 +1,735 @@
+"""Zero-copy flat snapshots: one probe generation in contiguous buffers.
+
+The paper's premise is a main-memory index whose hot path is a handful of
+array gathers, yet the object-backed build path re-materializes Python
+structures (dict-backed super coverings, per-polygon accelerator objects,
+a freshly built trie) on every process start, shard spawn, and snapshot
+swap.  This module packs everything one :class:`~repro.core.builder.ProbeView`
+generation needs to serve — the ACT node pool and face tables, the lookup
+table, the covering's cell/reference arrays, polygon ring geometry, and
+the refinement engine's packed edge buckets — into one contiguous
+``uint8`` blob with a versioned JSON header, so a consumer *attaches*
+instead of rebuilding:
+
+* ``save_index``/``load_index`` (FORMAT_VERSION 3) write the blob as a
+  single ``.npy`` payload and restart from disk via
+  ``np.load(mmap_mode="r")`` — no store build, no covering dict;
+* ``ShardedJoinService`` puts each shard's blob in one
+  ``multiprocessing.shared_memory`` segment and workers map it — shard
+  spawn/respawn drops from a full partition build to a buffer attach;
+* ``JoinService(flat_views=True)`` serves plain ACT-backed layers
+  through a :class:`FlatProbeView` whose probe loop reads the packed
+  buffers directly.
+
+Container layout (all offsets relative to the payload base, which is the
+first 64-byte boundary after the header)::
+
+    magic "RFLAT\\x01\\x00\\x00" | header length (uint64 LE) | JSON header
+    | pad to 64 | buffer 0 | pad | buffer 1 | ...
+
+The JSON header carries ``meta`` (format/build configuration) and one
+``(name, dtype, shape, offset, nbytes)`` record per buffer; every buffer
+starts 64-byte aligned so dtype views are valid on mmap'd and
+shared-memory attachments alike.
+
+:class:`FlatCellStore` is a bit-exact port of
+:meth:`~repro.core.act.AdaptiveCellTrie._probe_impl` over the attached
+buffers and :class:`FlatLookupTable` of the probe side of
+:class:`~repro.core.lookup_table.LookupTable`, so joins through a
+:class:`FlatProbeView` are bit-identical to the object-backed path —
+the parity suite in ``tests/test_flat.py`` holds them to that.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import struct
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.act import _FACE_SHIFT, AdaptiveCellTrie, _FaceTree
+from repro.core.builder import (
+    BuildTimings,
+    PolygonIndex,
+    ProbeView,
+    next_index_version,
+)
+from repro.core.lookup_table import (
+    TAG_OFFSET,
+    TAG_ONE_REF,
+    TAG_TWO_REFS,
+    _VALUE_MASK,
+)
+from repro.core.refs import PolygonRef
+from repro.core.super_covering import SuperCovering
+from repro.geo.polygon import Polygon, Ring
+from repro.geo.refine import RefinementEngine, _FlatBucketTable
+
+#: First 8 bytes of every flat snapshot blob.
+FLAT_MAGIC = b"RFLAT\x01\x00\x00"
+
+#: Version of the flat container layout itself (independent of the
+#: ``serialize.FORMAT_VERSION`` that wraps it on disk).
+FLAT_FORMAT_VERSION = 1
+
+#: Buffer alignment inside the blob; 64 keeps any numpy dtype view valid
+#: and buffers cache-line aligned.
+_ALIGN = 64
+
+
+def _align(offset: int) -> int:
+    return (offset + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+# ----------------------------------------------------------------------
+# Covering and geometry packing (shared with repro.core.serialize)
+# ----------------------------------------------------------------------
+
+
+def pack_covering(
+    covering: SuperCovering,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Flatten cells + refs into (cell ids, ref offsets, packed refs)."""
+    raw = covering.raw_items()
+    cell_ids = np.fromiter(raw.keys(), dtype=np.uint64, count=len(raw))
+    offsets = np.zeros(len(raw) + 1, dtype=np.int64)
+    packed: list[int] = []
+    for index, refs in enumerate(raw.values()):
+        packed.extend(ref.packed() for ref in refs)
+        offsets[index + 1] = len(packed)
+    return cell_ids, offsets, np.asarray(packed, dtype=np.uint32)
+
+
+def unpack_covering(
+    cell_ids: np.ndarray, offsets: np.ndarray, packed: np.ndarray
+) -> SuperCovering:
+    covering = SuperCovering()
+    refs_map = covering._refs
+    for index, raw_id in enumerate(cell_ids):
+        lo = int(offsets[index])
+        hi = int(offsets[index + 1])
+        refs_map[int(raw_id)] = tuple(
+            PolygonRef.from_packed(int(value)) for value in packed[lo:hi]
+        )
+    covering._sorted_ids = sorted(refs_map)
+    return covering
+
+
+def pack_polygon_geometry(
+    polygons: Sequence[Polygon | None],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Ring-packed geometry ``(ring index, vertex index, lngs, lats)``.
+
+    ``ring_index[i]:ring_index[i+1]`` are polygon ``i``'s rings (outer
+    first); an empty span marks a ``None`` slot (a hole in the id space).
+    """
+    ring_index = np.zeros(len(polygons) + 1, dtype=np.int64)
+    rings: list[Ring] = []
+    for slot, polygon in enumerate(polygons):
+        if polygon is not None:
+            rings.extend(polygon.rings)
+        ring_index[slot + 1] = len(rings)
+    vertex_index = np.zeros(len(rings) + 1, dtype=np.int64)
+    for slot, ring in enumerate(rings):
+        vertex_index[slot + 1] = vertex_index[slot] + ring.num_vertices
+    if rings:
+        lngs = np.concatenate([ring.lngs for ring in rings])
+        lats = np.concatenate([ring.lats for ring in rings])
+    else:
+        lngs = np.zeros(0, dtype=np.float64)
+        lats = np.zeros(0, dtype=np.float64)
+    return ring_index, vertex_index, lngs, lats
+
+
+def unpack_polygon_geometry(
+    ring_index: np.ndarray,
+    vertex_index: np.ndarray,
+    lngs: np.ndarray,
+    lats: np.ndarray,
+) -> list[Polygon | None]:
+    """Rebuild polygons from ring-packed geometry without re-validation.
+
+    The vertex arrays are kept as views into the source buffers (mmap or
+    shared memory), so reconstructing a snapshot's polygon set allocates
+    no per-vertex Python objects and copies no geometry.
+    """
+    polygons: list[Polygon | None] = []
+    for slot in range(len(ring_index) - 1):
+        first = int(ring_index[slot])
+        last = int(ring_index[slot + 1])
+        if first == last:
+            polygons.append(None)
+            continue
+        rings: list[Ring] = []
+        for row in range(first, last):
+            lo = int(vertex_index[row])
+            hi = int(vertex_index[row + 1])
+            ring = Ring.__new__(Ring)
+            ring.lngs = lngs[lo:hi]
+            ring.lats = lats[lo:hi]
+            ring._mbr = None
+            rings.append(ring)
+        polygon = Polygon.__new__(Polygon)
+        polygon.outer = rings[0]
+        polygon.holes = rings[1:]
+        polygon._mbr = None
+        polygon._edge_cache = None
+        polygon._edgeset_cache = None
+        polygon._refine_cache = None
+        polygon._train_cache = None
+        polygons.append(polygon)
+    return polygons
+
+
+# ----------------------------------------------------------------------
+# The container
+# ----------------------------------------------------------------------
+
+
+class FlatSnapshot:
+    """A named-buffer container with a versioned JSON header.
+
+    ``buffers`` maps buffer names to numpy arrays — views into one
+    attached blob, or the original arrays on the packing side.  ``owner``
+    pins whatever object keeps an attached blob's memory alive (the
+    ``np.memmap`` or the ``SharedMemory`` handle)."""
+
+    __slots__ = ("meta", "buffers", "owner")
+
+    def __init__(
+        self,
+        meta: Mapping[str, object],
+        buffers: Mapping[str, np.ndarray],
+        owner: object = None,
+    ):
+        self.meta = dict(meta)
+        self.buffers = dict(buffers)
+        self.owner = owner
+
+    # -- serialization --------------------------------------------------
+
+    def to_bytes(self) -> np.ndarray:
+        """The snapshot as one contiguous ``uint8`` blob."""
+        records: list[dict[str, object]] = []
+        payload: list[tuple[int, np.ndarray]] = []
+        offset = 0
+        for name, array in self.buffers.items():
+            array = np.ascontiguousarray(array)
+            offset = _align(offset)
+            records.append(
+                {
+                    "name": name,
+                    "dtype": array.dtype.str,
+                    "shape": list(array.shape),
+                    "offset": offset,
+                    "nbytes": int(array.nbytes),
+                }
+            )
+            payload.append((offset, array))
+            offset += array.nbytes
+        header = json.dumps({"meta": self.meta, "buffers": records}).encode("utf-8")
+        base = _align(len(FLAT_MAGIC) + 8 + len(header))
+        blob = np.zeros(base + offset, dtype=np.uint8)
+        blob[: len(FLAT_MAGIC)] = np.frombuffer(FLAT_MAGIC, dtype=np.uint8)
+        blob[len(FLAT_MAGIC) : len(FLAT_MAGIC) + 8] = np.frombuffer(
+            struct.pack("<Q", len(header)), dtype=np.uint8
+        )
+        blob[len(FLAT_MAGIC) + 8 : len(FLAT_MAGIC) + 8 + len(header)] = np.frombuffer(
+            header, dtype=np.uint8
+        )
+        for record_offset, array in payload:
+            lo = base + record_offset
+            blob[lo : lo + array.nbytes] = array.reshape(-1).view(np.uint8)
+        return blob
+
+    @classmethod
+    def from_buffer(cls, blob, owner: object = None) -> "FlatSnapshot":
+        """Attach to a blob (ndarray, memmap, or buffer) without copying."""
+        if not isinstance(blob, np.ndarray):
+            blob = np.frombuffer(blob, dtype=np.uint8)
+        elif blob.dtype != np.uint8:
+            blob = blob.view(np.uint8)
+        magic = blob[: len(FLAT_MAGIC)].tobytes()
+        if magic != FLAT_MAGIC:
+            raise ValueError(f"not a flat snapshot (magic {magic!r})")
+        header_len = int(
+            np.frombuffer(
+                blob[len(FLAT_MAGIC) : len(FLAT_MAGIC) + 8].tobytes(), dtype="<u8"
+            )[0]
+        )
+        header_lo = len(FLAT_MAGIC) + 8
+        header = json.loads(blob[header_lo : header_lo + header_len].tobytes())
+        base = _align(header_lo + header_len)
+        buffers: dict[str, np.ndarray] = {}
+        for record in header["buffers"]:
+            lo = base + int(record["offset"])
+            hi = lo + int(record["nbytes"])
+            view = blob[lo:hi].view(np.dtype(record["dtype"]))
+            buffers[record["name"]] = view.reshape(tuple(record["shape"]))
+        return cls(header["meta"], buffers, owner=owner if owner is not None else blob)
+
+    @property
+    def nbytes(self) -> int:
+        """Total payload size across all buffers (header excluded)."""
+        return int(sum(int(array.nbytes) for array in self.buffers.values()))
+
+    def save(self, path: str | pathlib.Path) -> None:
+        """Write the blob as a single ``.npy`` payload (mmap-attachable)."""
+        with open(path, "wb") as handle:
+            np.save(handle, self.to_bytes())
+
+    @classmethod
+    def load(
+        cls, path: str | pathlib.Path, mmap_mode: str | None = "r"
+    ) -> "FlatSnapshot":
+        """Attach to a saved snapshot; ``mmap_mode="r"`` maps, not reads."""
+        blob = np.load(path, mmap_mode=mmap_mode)
+        return cls.from_buffer(blob, owner=blob)
+
+    def to_shared_memory(self):
+        """Copy the blob into a fresh shared-memory segment (caller owns)."""
+        from multiprocessing import shared_memory
+
+        blob = self.to_bytes()
+        segment = shared_memory.SharedMemory(create=True, size=max(1, int(blob.nbytes)))
+        np.frombuffer(segment.buf, dtype=np.uint8, count=blob.nbytes)[:] = blob
+        return segment
+
+
+# ----------------------------------------------------------------------
+# Attached probe-path objects
+# ----------------------------------------------------------------------
+
+
+class FlatLookupTable:
+    """The probe side of :class:`~repro.core.lookup_table.LookupTable`
+    over an attached ``uint32`` buffer (decode parity is bit-exact)."""
+
+    __slots__ = ("_data",)
+
+    def __init__(self, data: np.ndarray):
+        self._data = data
+
+    @property
+    def array(self) -> np.ndarray:
+        return self._data
+
+    def decode_offset(self, offset: int) -> tuple[PolygonRef, ...]:
+        """Reference set stored at ``offset``, in canonical (id-sorted) order."""
+        data = self._data
+        num_true = int(data[offset])
+        cursor = offset + 1
+        refs = [
+            PolygonRef(int(pid), True) for pid in data[cursor : cursor + num_true]
+        ]
+        cursor += num_true
+        num_cand = int(data[cursor])
+        cursor += 1
+        refs.extend(
+            PolygonRef(int(pid), False) for pid in data[cursor : cursor + num_cand]
+        )
+        refs.sort(key=lambda ref: ref.polygon_id)
+        return tuple(refs)
+
+    def decode_entry(self, entry: int) -> tuple[PolygonRef, ...]:
+        """Reference set for any non-pointer tagged entry."""
+        entry = int(entry)
+        tag = entry & 3
+        if tag == TAG_ONE_REF:
+            return (PolygonRef.from_packed((entry >> 2) & _VALUE_MASK),)
+        if tag == TAG_TWO_REFS:
+            return (
+                PolygonRef.from_packed((entry >> 2) & _VALUE_MASK),
+                PolygonRef.from_packed((entry >> 33) & _VALUE_MASK),
+            )
+        if tag == TAG_OFFSET:
+            return self.decode_offset(entry >> 2)
+        raise ValueError(f"entry {entry:#x} is a pointer, not a value")
+
+    @property
+    def size_bytes(self) -> int:
+        return int(self._data.nbytes)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+class FlatCellStore:
+    """ACT probe loop over attached buffers — no per-entry Python objects.
+
+    A bit-exact port of :meth:`AdaptiveCellTrie._probe_impl` (minus the
+    instrumentation branch): the same face grouping, prefix check, and
+    level-synchronous gather loop, reading the node pool straight out of
+    the snapshot blob.  Satisfies the ``CellStore`` protocol and exposes
+    the same introspection surface (``fanout_bits``, ``size_bytes``,
+    ``describe``) so the serving and stats layers are store-agnostic.
+    """
+
+    def __init__(
+        self,
+        pool: np.ndarray,
+        faces: np.ndarray,
+        face_values: np.ndarray,
+        lookup_table: FlatLookupTable,
+        *,
+        fanout_bits: int,
+        max_value_depth: int,
+        num_nodes: int,
+        num_keys: int,
+        num_input_cells: int,
+        build_seconds: float = 0.0,
+    ):
+        self.pool = pool
+        self.lookup_table = lookup_table
+        self.fanout_bits = fanout_bits
+        self.delta = fanout_bits // 2
+        self.fanout = 1 << fanout_bits
+        self.num_nodes = num_nodes
+        self.num_keys = num_keys
+        self.num_input_cells = num_input_cells
+        self.build_seconds = build_seconds
+        self._max_value_depth = max_value_depth
+        self._face_trees: dict[int, _FaceTree] = {
+            int(row[0]): _FaceTree(
+                root_base=int(row[1]),
+                prefix_shift=int(row[2]),
+                prefix_value=int(row[3]),
+                prefix_depth=int(row[4]),
+            )
+            for row in faces
+        }
+        self._face_values: dict[int, int] = {
+            int(row[0]): int(row[1]) for row in face_values
+        }
+
+    def probe(self, query_ids: np.ndarray) -> np.ndarray:
+        """Tagged entries for a batch of leaf cell ids (0 = false hit)."""
+        query_ids = np.ascontiguousarray(query_ids, dtype=np.uint64)
+        out = np.zeros(len(query_ids), dtype=np.uint64)
+        faces = (query_ids >> np.uint64(_FACE_SHIFT)).astype(np.int64)
+        for face, tree in self._face_trees.items():
+            face_idx = np.nonzero(faces == face)[0]
+            if face_idx.size == 0:
+                continue
+            sub = query_ids[face_idx]
+            ok = (sub >> np.uint64(tree.prefix_shift)) == np.uint64(tree.prefix_value)
+            active_idx = face_idx[ok]
+            active_ids = sub[ok]
+            current = np.full(active_idx.size, tree.root_base, dtype=np.uint64)
+            depth = tree.prefix_depth
+            max_depth = self._max_value_depth
+            while active_idx.size and depth < max_depth:
+                shift = _FACE_SHIFT - 2 * self.delta * (depth + 1)
+                bits = (active_ids >> np.uint64(shift)) & np.uint64(self.fanout - 1)
+                entries = self.pool[current + bits]
+                is_value = (entries & np.uint64(3)) != np.uint64(0)
+                if np.any(is_value):
+                    out[active_idx[is_value]] = entries[is_value]
+                descend = (~is_value) & (entries != np.uint64(0))
+                active_idx = active_idx[descend]
+                active_ids = active_ids[descend]
+                current = entries[descend] >> np.uint64(2)
+                depth += 1
+        for face, entry in self._face_values.items():
+            sel = faces == face
+            out[sel] = np.uint64(entry)
+        return out
+
+    def probe_one(self, query_id: int) -> tuple[PolygonRef, ...]:
+        """Scalar convenience probe returning decoded references."""
+        entry = int(self.probe(np.asarray([query_id], dtype=np.uint64))[0])
+        if entry == 0:
+            return ()
+        return self.lookup_table.decode_entry(entry)
+
+    @property
+    def name(self) -> str:
+        return f"ACT{self.delta}"
+
+    @property
+    def size_bytes(self) -> int:
+        return int(self.pool.nbytes) + self.lookup_table.size_bytes
+
+    def node_occupancy(self) -> float:
+        if self.num_nodes == 0:
+            return 0.0
+        body = self.pool[self.fanout :]
+        return float(np.count_nonzero(body)) / len(body)
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "variant": self.name,
+            "flat": True,
+            "fanout": self.fanout,
+            "num_input_cells": self.num_input_cells,
+            "num_keys": self.num_keys,
+            "num_nodes": self.num_nodes,
+            "size_bytes": self.size_bytes,
+            "build_seconds": self.build_seconds,
+            "occupancy": self.node_occupancy(),
+            "faces": sorted(self._face_trees),
+        }
+
+
+@dataclass(frozen=True)
+class FlatProbeView(ProbeView):
+    """A :class:`ProbeView` whose store/table read flat buffers directly."""
+
+
+# ----------------------------------------------------------------------
+# Packing
+# ----------------------------------------------------------------------
+
+
+def _pack_refiner_table(table: _FlatBucketTable) -> dict[str, np.ndarray]:
+    return {
+        "ref_row_offset": table.row_offset,
+        "ref_num_buckets": table.num_buckets,
+        "ref_lat_origin": table.lat_origin,
+        "ref_inv_bucket_height": table.inv_bucket_height,
+        "ref_mbr_lng_lo": table.mbr_lng_lo,
+        "ref_mbr_lng_hi": table.mbr_lng_hi,
+        "ref_mbr_lat_lo": table.mbr_lat_lo,
+        "ref_mbr_lat_hi": table.mbr_lat_hi,
+        "ref_edge_start": table.edge_start,
+        "ref_y0": table.y0,
+        "ref_y1": table.y1,
+        "ref_x0": table.x0,
+        "ref_dx": table.dx,
+        "ref_inv_dy": table.inv_dy,
+    }
+
+
+def _attach_refiner_table(buffers: Mapping[str, np.ndarray]) -> _FlatBucketTable | None:
+    if "ref_edge_start" not in buffers:
+        return None
+    table = _FlatBucketTable.__new__(_FlatBucketTable)
+    table.row_offset = buffers["ref_row_offset"]
+    table.num_buckets = buffers["ref_num_buckets"]
+    table.lat_origin = buffers["ref_lat_origin"]
+    table.inv_bucket_height = buffers["ref_inv_bucket_height"]
+    table.mbr_lng_lo = buffers["ref_mbr_lng_lo"]
+    table.mbr_lng_hi = buffers["ref_mbr_lng_hi"]
+    table.mbr_lat_lo = buffers["ref_mbr_lat_lo"]
+    table.mbr_lat_hi = buffers["ref_mbr_lat_hi"]
+    table.edge_start = buffers["ref_edge_start"]
+    table.y0 = buffers["ref_y0"]
+    table.y1 = buffers["ref_y1"]
+    table.x0 = buffers["ref_x0"]
+    table.dx = buffers["ref_dx"]
+    table.inv_dy = buffers["ref_inv_dy"]
+    return table
+
+
+def pack_index(index: PolygonIndex) -> FlatSnapshot:
+    """Pack one index generation (ACT-backed or already flat) into buffers.
+
+    An index already serving from a flat snapshot returns that snapshot
+    unchanged — repacking would copy buffers for no benefit."""
+    if isinstance(index, FlatPolygonIndex) and index.store is index._flat_store:
+        return index.snapshot
+    store = index.store
+    if not isinstance(store, AdaptiveCellTrie):
+        raise NotImplementedError(
+            "flat snapshots are wired up for the ACT store "
+            f"(got {type(store).__name__})"
+        )
+    faces = np.zeros((len(store._face_trees), 5), dtype=np.uint64)
+    for row, (face, tree) in enumerate(sorted(store._face_trees.items())):
+        faces[row] = (
+            face,
+            tree.root_base,
+            tree.prefix_shift,
+            tree.prefix_value,
+            tree.prefix_depth,
+        )
+    face_values = np.zeros((len(store._face_values), 2), dtype=np.uint64)
+    for row, (face, entry) in enumerate(sorted(store._face_values.items())):
+        face_values[row] = (face, entry)
+    cell_ids, ref_offsets, packed_refs = pack_covering(index.super_covering)
+    ring_index, vertex_index, ring_lngs, ring_lats = pack_polygon_geometry(
+        index.polygons
+    )
+    # The snapshot ships the refinement engine's flat bucket table, so an
+    # attached index refines without rebuilding a single accelerator.
+    view = index.probe_view()
+    refiner = view.refiner if view.refiner is not None else RefinementEngine(
+        tuple(index.polygons)
+    )
+    buffers: dict[str, np.ndarray] = {
+        "act_pool": store.pool,
+        "act_faces": faces,
+        "act_face_values": face_values,
+        "lut": store.lookup_table.array,
+        "cell_ids": cell_ids,
+        "ref_offsets": ref_offsets,
+        "packed_refs": packed_refs,
+        "poly_ring_index": ring_index,
+        "ring_vertex_index": vertex_index,
+        "ring_lngs": ring_lngs,
+        "ring_lats": ring_lats,
+        **_pack_refiner_table(refiner._flat_table()),
+    }
+    meta = {
+        "flat_format": FLAT_FORMAT_VERSION,
+        "fanout_bits": int(store.fanout_bits),
+        "max_value_depth": int(store._max_value_depth),
+        "num_nodes": int(store.num_nodes),
+        "num_keys": int(store.num_keys),
+        "num_input_cells": int(store.num_input_cells),
+        "build_seconds": float(store.build_seconds),
+        "num_cells": int(index.num_cells),
+        "max_cell_level": int(index.max_cell_level()),
+        "num_polygons": len(index.polygons),
+        "precision_meters": (
+            float(index.precision_meters)
+            if index.precision_meters is not None
+            else None
+        ),
+        "version": int(index.version),
+    }
+    return FlatSnapshot(meta, buffers)
+
+
+# ----------------------------------------------------------------------
+# Attaching
+# ----------------------------------------------------------------------
+
+
+class FlatPolygonIndex(PolygonIndex):
+    """A :class:`PolygonIndex` serving straight from a flat snapshot.
+
+    Construction performs no store build and no covering materialization:
+    the ACT pool, lookup table, polygon geometry, and refinement buckets
+    are views into the snapshot's blob.  The super covering is unpacked
+    lazily only if a mutation path (``add_polygon``, ``retrained``,
+    sharding's plan step) actually asks for it.
+    """
+
+    def __init__(self, snapshot: FlatSnapshot, *, version: int | None = None):
+        meta = snapshot.meta
+        if meta.get("flat_format") != FLAT_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported flat snapshot format {meta.get('flat_format')!r}"
+            )
+        buffers = snapshot.buffers
+        self.snapshot = snapshot
+        lookup_table = FlatLookupTable(buffers["lut"])
+        store = FlatCellStore(
+            buffers["act_pool"],
+            buffers["act_faces"],
+            buffers["act_face_values"],
+            lookup_table,
+            fanout_bits=int(meta["fanout_bits"]),
+            max_value_depth=int(meta["max_value_depth"]),
+            num_nodes=int(meta["num_nodes"]),
+            num_keys=int(meta["num_keys"]),
+            num_input_cells=int(meta["num_input_cells"]),
+            build_seconds=float(meta.get("build_seconds", 0.0)),
+        )
+        self.polygons = unpack_polygon_geometry(
+            buffers["poly_ring_index"],
+            buffers["ring_vertex_index"],
+            buffers["ring_lngs"],
+            buffers["ring_lats"],
+        )
+        self.store = store
+        self.lookup_table = lookup_table
+        self.timings = BuildTimings()
+        self.precision_meters = meta["precision_meters"]
+        self.training_report = None
+        self.version = next_index_version() if version is None else version
+        self._probe_view = None
+        self._flat_store = store
+        self._covering_cache: SuperCovering | None = None
+        self._refiner_table: _FlatBucketTable | None = None
+
+    # -- lazily materialized object-world state -------------------------
+
+    @property
+    def super_covering(self) -> SuperCovering:
+        if self._covering_cache is None:
+            buffers = self.snapshot.buffers
+            self._covering_cache = unpack_covering(
+                buffers["cell_ids"],
+                buffers["ref_offsets"],
+                buffers["packed_refs"],
+            )
+        return self._covering_cache
+
+    @property
+    def num_cells(self) -> int:
+        if self._covering_cache is not None:
+            return self._covering_cache.num_cells
+        return int(self.snapshot.meta["num_cells"])
+
+    def max_cell_level(self) -> int:
+        if self._covering_cache is None:
+            return int(self.snapshot.meta["max_cell_level"])
+        return super().max_cell_level()
+
+    def probe_view(self) -> ProbeView:
+        if self.store is not self._flat_store:
+            # A mutation path rebuilt the store (add_polygon); serve the
+            # rebuilt object-backed generation through the parent path.
+            return super().probe_view()
+        view = self._probe_view
+        if view is None or view.store is not self.store:
+            polygons = tuple(self.polygons)
+            refiner = RefinementEngine(polygons)
+            if self._refiner_table is None:
+                self._refiner_table = _attach_refiner_table(self.snapshot.buffers)
+            if self._refiner_table is not None:
+                refiner._table = self._refiner_table
+            view = FlatProbeView(
+                version=self.version,
+                store=self.store,
+                lookup_table=self.lookup_table,
+                polygons=polygons,
+                max_cell_level=self.max_cell_level(),
+                refiner=refiner,
+            )
+            self._probe_view = view
+        return view
+
+
+def attach_index(
+    source: FlatSnapshot | np.ndarray | bytes,
+    *,
+    version: int | None = None,
+    owner: object = None,
+) -> FlatPolygonIndex:
+    """Attach an index to a packed snapshot (no rebuild).
+
+    ``version=None`` stamps a fresh process-local version (the loaded
+    snapshot outranks everything built so far — callers raise the floor
+    with :func:`~repro.core.builder.ensure_version_floor` first);
+    otherwise the given version is stamped verbatim (shard workers stamp
+    the parent snapshot's version so every partition agrees)."""
+    if isinstance(source, FlatSnapshot):
+        snapshot = source
+    else:
+        snapshot = FlatSnapshot.from_buffer(source, owner=owner)
+    return FlatPolygonIndex(snapshot, version=version)
+
+
+def as_flat_index(index: PolygonIndex, *, version: int | None = None) -> PolygonIndex:
+    """The flat-serving equivalent of ``index`` (or ``index`` itself).
+
+    Plain ACT-backed indexes are packed and re-attached (keeping their
+    version unless overridden); anything else — already-flat indexes,
+    dynamic overlays, custom stores — passes through unchanged.
+    """
+    if isinstance(index, FlatPolygonIndex):
+        return index
+    if not isinstance(index, PolygonIndex) or not isinstance(
+        index.store, AdaptiveCellTrie
+    ):
+        return index
+    return attach_index(
+        pack_index(index),
+        version=index.version if version is None else version,
+    )

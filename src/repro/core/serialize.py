@@ -3,24 +3,25 @@
 The paper's setting is a mostly static polygon set probed by a stream of
 points; rebuilding the index on every process start wastes exactly the
 build time the paper chose not to optimize.  ``save_index``/``load_index``
-serialize everything needed to probe — the super covering (cells +
-references), the polygons (WKT), and the build configuration — into a
-single ``.npz`` file; loading re-runs only the cheap, vectorized trie
-construction.  Derived probe-path state is *not* serialized: the
-refinement engine and its per-polygon edge accelerators
-(:mod:`repro.geo.refine`) are deterministic functions of the restored
-geometry, so a loaded index re-attaches a fresh engine on its first
-``probe_view()`` and rebuilds each polygon's packed edge buckets lazily
-on first refinement — round-tripped indexes refine through the exact
-same accelerated path as freshly built ones.
+persist everything needed to probe.  Since FORMAT_VERSION 3 that is a
+:class:`~repro.core.flat.FlatSnapshot`: one contiguous blob holding the
+ACT node pool, lookup table, covering arrays, polygon ring geometry, and
+the refinement engine's packed edge buckets — so loading is an
+``np.load(mmap_mode="r")`` *attach* with no store build at all (the probe
+path reads the mapped buffers directly).  Earlier versions serialized
+the covering and polygon WKT into an ``.npz`` archive and re-ran the trie
+construction on load; those files still load through the legacy path.
 
 Format history:
 
-* **v1** — super covering + polygons + build configuration.
+* **v1** — super covering + polygons + build configuration (``.npz``);
+  the store is rebuilt on load.
 * **v2** — adds lifecycle state: the snapshot ``version`` and, for a
   :class:`~repro.core.dynamic.DynamicPolygonIndex`, the pending delta log
-  (inserts as WKT, deletes as tombstoned ids) replayed on load.  v1 files
-  still load (they simply carry no lifecycle state).
+  (inserts as WKT, deletes as tombstoned ids) replayed on load.
+* **v3** — the flat snapshot container (single ``.npy`` payload): zero
+  rebuild on load, mmap-able, bit-identical probe results.  The delta
+  log ships as packed ring geometry instead of WKT.
 
 Writers always emit the current ``FORMAT_VERSION``; readers accept every
 version up to it.
@@ -44,47 +45,29 @@ from repro.core.builder import (
     build_store,
     ensure_version_floor,
 )
-from repro.core.act import AdaptiveCellTrie
 from repro.core.dynamic import DeltaOp, DynamicPolygonIndex
-from repro.core.refs import PolygonRef
-from repro.core.super_covering import SuperCovering
-from repro.geo.wkt import polygon_from_wkt, polygon_to_wkt
+from repro.core.flat import (
+    FlatSnapshot,
+    attach_index,
+    pack_covering as _pack_covering,
+    pack_index,
+    pack_polygon_geometry,
+    unpack_covering as _unpack_covering,
+    unpack_polygon_geometry,
+)
+from repro.geo.wkt import polygon_from_wkt
 from repro.util.timing import Timer
 
-FORMAT_VERSION = 2
+FORMAT_VERSION = 3
+
+#: Last format that used the legacy ``.npz`` + rebuild-on-load layout.
+_LAST_LEGACY_VERSION = 2
 
 #: WKT slot marking a deleted polygon id (a hole in the id space).
 _HOLE = ""
 
 _OP_INSERT = 0
 _OP_DELETE = 1
-
-
-def _pack_covering(covering: SuperCovering) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Flatten cells + refs into (cell ids, ref offsets, packed refs)."""
-    raw = covering.raw_items()
-    cell_ids = np.fromiter(raw.keys(), dtype=np.uint64, count=len(raw))
-    offsets = np.zeros(len(raw) + 1, dtype=np.int64)
-    packed: list[int] = []
-    for index, refs in enumerate(raw.values()):
-        packed.extend(ref.packed() for ref in refs)
-        offsets[index + 1] = len(packed)
-    return cell_ids, offsets, np.asarray(packed, dtype=np.uint32)
-
-
-def _unpack_covering(
-    cell_ids: np.ndarray, offsets: np.ndarray, packed: np.ndarray
-) -> SuperCovering:
-    covering = SuperCovering()
-    refs_map = covering._refs
-    for index, raw_id in enumerate(cell_ids):
-        lo = int(offsets[index])
-        hi = int(offsets[index + 1])
-        refs_map[int(raw_id)] = tuple(
-            PolygonRef.from_packed(int(value)) for value in packed[lo:hi]
-        )
-    covering._sorted_ids = sorted(refs_map)
-    return covering
 
 
 def _coverer_options(fields: dict | None) -> CovererOptions:
@@ -96,28 +79,53 @@ def _interior_options(fields: dict | None) -> CovererOptions:
 
 
 def _pack_delta_log(ops: tuple[DeltaOp, ...]) -> dict[str, np.ndarray]:
+    """The pending mutations as flat buffers (geometry ring-packed)."""
     kinds = np.asarray(
         [_OP_INSERT if op.kind == "insert" else _OP_DELETE for op in ops],
         dtype=np.int8,
     )
     pids = np.asarray([op.polygon_id for op in ops], dtype=np.int64)
-    wkts = np.asarray(
-        [polygon_to_wkt(op.polygon) if op.polygon is not None else _HOLE for op in ops],
-        dtype=object,
+    ring_index, vertex_index, lngs, lats = pack_polygon_geometry(
+        [op.polygon for op in ops]
     )
-    return {"delta_kinds": kinds, "delta_pids": pids, "delta_polygons": wkts}
+    return {
+        "delta_kinds": kinds,
+        "delta_pids": pids,
+        "delta_ring_index": ring_index,
+        "delta_vertex_index": vertex_index,
+        "delta_lngs": lngs,
+        "delta_lats": lats,
+    }
+
+
+def _unpack_delta_log(buffers: dict[str, np.ndarray]) -> list[DeltaOp]:
+    polygons = unpack_polygon_geometry(
+        buffers["delta_ring_index"],
+        buffers["delta_vertex_index"],
+        buffers["delta_lngs"],
+        buffers["delta_lats"],
+    )
+    ops: list[DeltaOp] = []
+    for kind, pid, polygon in zip(
+        buffers["delta_kinds"], buffers["delta_pids"], polygons
+    ):
+        if int(kind) == _OP_INSERT:
+            ops.append(DeltaOp("insert", int(pid), polygon))
+        else:
+            ops.append(DeltaOp("delete", int(pid), None))
+    return ops
 
 
 def save_index(
     index: PolygonIndex | DynamicPolygonIndex, path: str | pathlib.Path
 ) -> None:
-    """Serialize ``index`` to ``path`` (a ``.npz`` archive).
+    """Serialize ``index`` to ``path`` (a flat snapshot, v3).
 
     A :class:`DynamicPolygonIndex` is saved as its immutable base snapshot
     plus the pending delta log; loading replays the log, restoring the
     exact live polygon set, tombstones, and id assignment.
     """
-    delta: dict[str, np.ndarray] = {}
+    extra: dict[str, np.ndarray] = {}
     dynamic_meta: dict[str, object] = {}
     if isinstance(index, DynamicPolygonIndex):
         state = index.export_state()
@@ -126,9 +134,9 @@ def save_index(
                 "serialization is wired up for the ACT store "
                 "(a custom store_factory cannot be persisted)"
             )
-        delta = _pack_delta_log(state.pending)
+        extra = _pack_delta_log(state.pending)
         if state.training_cell_ids is not None:
-            delta["training_cell_ids"] = np.asarray(
+            extra["training_cell_ids"] = np.asarray(
                 state.training_cell_ids, dtype=np.uint64
             )
         dynamic_meta = {
@@ -138,78 +146,96 @@ def save_index(
             "covering_options": asdict(state.covering_options),
             "interior_options": asdict(state.interior_options),
             "training_max_cells": state.training_max_cells,
+            "flat_snapshots": state.flat_snapshots,
         }
         index = state.base
-    if not isinstance(index.store, AdaptiveCellTrie):
-        raise NotImplementedError("serialization is wired up for the ACT store")
-    cell_ids, offsets, packed = _pack_covering(index.super_covering)
-    meta = {
-        "format_version": FORMAT_VERSION,
-        "fanout_bits": index.store.fanout_bits,
-        "precision_meters": index.precision_meters,
-        "num_polygons": len(index.polygons),
-        "version": index.version,
-        **dynamic_meta,
-    }
-    np.savez_compressed(
-        path,
-        meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
-        cell_ids=cell_ids,
-        ref_offsets=offsets,
-        packed_refs=packed,
-        polygons=np.asarray(
-            [
-                polygon_to_wkt(polygon) if polygon is not None else _HOLE
-                for polygon in index.polygons
-            ],
-            dtype=object,
-        ),
-        **delta,
+    snapshot = pack_index(index)
+    meta = dict(snapshot.meta)
+    meta.update(
+        {
+            "format_version": FORMAT_VERSION,
+            "version": int(index.version),
+            **dynamic_meta,
+        }
     )
+    buffers = dict(snapshot.buffers)
+    buffers.update(extra)
+    FlatSnapshot(meta, buffers).save(path)
 
 
 def load_index(path: str | pathlib.Path) -> PolygonIndex | DynamicPolygonIndex:
     """Restore an index saved by :func:`save_index`.
 
-    Accepts every format version up to :data:`FORMAT_VERSION`; a file that
-    carries a pending delta log comes back as a
-    :class:`DynamicPolygonIndex` with the log replayed, anything else as a
-    plain :class:`PolygonIndex`.
+    Accepts every format version up to :data:`FORMAT_VERSION`.  A v3 file
+    is *attached*: the returned index serves straight from the mmap'd
+    buffers (:class:`~repro.core.flat.FlatPolygonIndex`) and no store
+    build runs.  v1/v2 ``.npz`` archives take the legacy rebuild path.
+    A file that carries a pending delta log comes back as a
+    :class:`DynamicPolygonIndex` with the log replayed, anything else as
+    a plain :class:`PolygonIndex`.
     """
-    with np.load(path, allow_pickle=True) as archive:
-        meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
-        if not 1 <= meta["format_version"] <= FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported index file version {meta['format_version']}"
-            )
-        covering = _unpack_covering(
-            archive["cell_ids"], archive["ref_offsets"], archive["packed_refs"]
+    loaded = np.load(path, mmap_mode="r", allow_pickle=True)
+    if isinstance(loaded, np.lib.npyio.NpzFile):
+        with loaded as archive:
+            return _load_legacy(archive)
+    snapshot = FlatSnapshot.from_buffer(loaded, owner=loaded)
+    meta = snapshot.meta
+    file_version = int(meta.get("format_version", 0))
+    if not _LAST_LEGACY_VERSION < file_version <= FORMAT_VERSION:
+        raise ValueError(f"unsupported index file version {file_version}")
+    # Versions are process-local, so the file's stamp is provenance, not
+    # an ordering: raise the local floor above it, then restamp.  The
+    # loaded snapshot thereby outranks both the file and anything built
+    # locally so far — a load-then-swap into a live service always
+    # passes the router's newer-version check.
+    ensure_version_floor(int(meta["version"]))
+    base = attach_index(snapshot)
+    if not meta.get("dynamic", False):
+        return base
+    training = snapshot.buffers.get("training_cell_ids")
+    return DynamicPolygonIndex.restore(
+        base,
+        _unpack_delta_log(snapshot.buffers),
+        compact_threshold=meta.get("compact_threshold"),
+        background=bool(meta.get("background", False)),
+        covering_options=_coverer_options(meta.get("covering_options")),
+        interior_options=_interior_options(meta.get("interior_options")),
+        training_cell_ids=training,
+        training_max_cells=meta.get("training_max_cells"),
+        flat_snapshots=bool(meta.get("flat_snapshots", False)),
+    )
+
+
+def _load_legacy(archive) -> PolygonIndex | DynamicPolygonIndex:
+    """The v1/v2 ``.npz`` path: unpack the covering, rebuild the store."""
+    meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
+    if not 1 <= meta["format_version"] <= _LAST_LEGACY_VERSION:
+        raise ValueError(
+            f"unsupported index file version {meta['format_version']}"
         )
-        polygons = [
-            polygon_from_wkt(text) if text != _HOLE else None
-            for text in archive["polygons"]
-        ]
-        training_cell_ids = (
-            archive["training_cell_ids"]
-            if "training_cell_ids" in archive.files
-            else None
-        )
-        ops: list[DeltaOp] = []
-        if "delta_kinds" in archive.files:
-            for kind, pid, wkt in zip(
-                archive["delta_kinds"], archive["delta_pids"], archive["delta_polygons"]
-            ):
-                if int(kind) == _OP_INSERT:
-                    ops.append(DeltaOp("insert", int(pid), polygon_from_wkt(wkt)))
-                else:
-                    ops.append(DeltaOp("delete", int(pid), None))
+    covering = _unpack_covering(
+        archive["cell_ids"], archive["ref_offsets"], archive["packed_refs"]
+    )
+    polygons = [
+        polygon_from_wkt(text) if text != _HOLE else None
+        for text in archive["polygons"]
+    ]
+    training_cell_ids = (
+        archive["training_cell_ids"]
+        if "training_cell_ids" in archive.files
+        else None
+    )
+    ops: list[DeltaOp] = []
+    if "delta_kinds" in archive.files:
+        for kind, pid, wkt in zip(
+            archive["delta_kinds"], archive["delta_pids"], archive["delta_polygons"]
+        ):
+            if int(kind) == _OP_INSERT:
+                ops.append(DeltaOp("insert", int(pid), polygon_from_wkt(wkt)))
+            else:
+                ops.append(DeltaOp("delete", int(pid), None))
     saved_version = meta.get("version")
     if saved_version is not None:
-        # Versions are process-local, so the file's stamp is provenance,
-        # not an ordering: raise the local floor above it, then restamp.
-        # The loaded snapshot thereby outranks both the file and anything
-        # built locally so far — a load-then-swap into a live service
-        # always passes the router's newer-version check.
         ensure_version_floor(int(saved_version))
     with Timer() as timer:
         store, lookup_table = build_store(covering, fanout_bits=meta["fanout_bits"])

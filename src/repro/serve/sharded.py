@@ -16,13 +16,18 @@ Evaluation of Spatial Joins*) applied to the paper's cell-id domain:
   shard it touches.  Replication changes no reference set, so sharded
   results are bit-identical to the unsharded join by construction.
 * A **shard worker** is a spawned process hosting one ordinary
-  :class:`JoinService` over its partition sub-indexes (built worker-side
-  from the shipped covering cells via
-  :func:`~repro.core.builder.build_partition_index` — the coverer never
-  re-runs).  Batch coordinates travel through
-  ``multiprocessing.shared_memory`` buffers, never the pickle stream;
-  only the control messages and the (small) partial ``JoinResult``
-  statistics cross the pipe.
+  :class:`JoinService` over its partition sub-indexes.  With the default
+  ``snapshot="flat"`` the front builds each partition once, packs it
+  into a :class:`~repro.core.flat.FlatSnapshot`, and publishes the blob
+  in a ``multiprocessing.shared_memory`` segment; the worker *attaches*
+  (a buffer map, no store build) and serves from the shared pages.
+  ``snapshot="rebuild"`` ships the covering cells instead and the
+  worker rebuilds via
+  :func:`~repro.core.builder.build_partition_index` (the coverer never
+  re-runs either way) — kept for comparison benchmarks.  Batch
+  coordinates travel through shared-memory buffers too, never the
+  pickle stream; only the control messages and the (small) partial
+  ``JoinResult`` statistics cross the pipe.
 * :class:`ShardedJoinService` is the front: it computes leaf cell ids
   once, scatters each batch to the owning shards, gathers the partial
   results, and merges them with the same wall-time apportioning as the
@@ -64,6 +69,7 @@ from repro.core.builder import (
     build_partition_index,
     ensure_version_floor,
 )
+from repro.core.flat import FlatSnapshot, attach_index, pack_index
 from repro.core.joins import JoinResult
 from repro.geo.polygon import Polygon
 from repro.obs import DispatchMeters, Observability, ObsConfig
@@ -201,12 +207,27 @@ class _ShardPart:
     version: int  # the parent snapshot's version
 
 
+@dataclass(frozen=True)
+class _FlatShardPart:
+    """One layer's partition as a published flat snapshot (attach-only).
+
+    The front packed the partition sub-index into a shared-memory
+    segment; the worker maps the segment and serves the buffers in
+    place.  The part itself is a few bytes of pickle — the index never
+    crosses the pipe.
+    """
+
+    shm_name: str  # segment holding the FlatSnapshot blob
+    nbytes: int  # blob payload size (segment may be page-rounded)
+    version: int  # the parent snapshot's version
+
+
 @dataclass
 class _WorkerPayload:
     """Everything one shard worker needs to build its JoinService."""
 
     shard: int
-    parts: dict[str, _ShardPart]  # layer name -> partition
+    parts: dict[str, _ShardPart | _FlatShardPart]  # layer name -> partition
     cache_cells: int
     adaptation: AdaptationPolicy | None
     obs: ObsConfig | None = None  # worker-side observability settings
@@ -224,8 +245,39 @@ def _part_for(plan: ShardPlan, shard: int, index: PolygonIndex) -> _ShardPart:
     )
 
 
-def _index_from_part(part: _ShardPart, *, fresh_version: bool) -> PolygonIndex:
-    """Build the partition sub-index a part describes.
+def _flat_part_for(
+    plan: ShardPlan, shard: int, index: PolygonIndex
+) -> tuple[_FlatShardPart, SharedMemory]:
+    """Build one shard's partition front-side and publish it as a segment.
+
+    Returns the (tiny, picklable) part plus the segment handle — the
+    caller owns the segment's lifetime and must unlink it when this
+    generation is retired.
+    """
+    sub = _index_from_part(_part_for(plan, shard, index), fresh_version=False)
+    snapshot = pack_index(sub)
+    segment = snapshot.to_shared_memory()
+    return (
+        _FlatShardPart(
+            shm_name=segment.name,
+            nbytes=snapshot.nbytes,
+            version=int(index.version),
+        ),
+        segment,
+    )
+
+
+def _index_from_part(
+    part: _ShardPart | _FlatShardPart, *, fresh_version: bool
+) -> PolygonIndex:
+    """Materialize the partition sub-index a part describes.
+
+    A :class:`_FlatShardPart` attaches to the front's published segment
+    (no store build); a :class:`_ShardPart` rebuilds from the shipped
+    covering cells.  The attach keeps its ``SharedMemory`` handle open
+    for the index's whole lifetime (pinned as the snapshot owner) —
+    closing it while numpy views into the buffers exist is an error, so
+    the handle is simply dropped with the index.
 
     ``fresh_version=False`` stamps the parent snapshot's version (initial
     attach / add_layer: every shard of one snapshot agrees).
@@ -239,6 +291,10 @@ def _index_from_part(part: _ShardPart, *, fresh_version: bool) -> PolygonIndex:
         version = None
     else:
         version = part.version
+    if isinstance(part, _FlatShardPart):
+        shm = _attach_shm(part.shm_name)
+        snapshot = FlatSnapshot.from_buffer(shm.buf, owner=shm)
+        return attach_index(snapshot, version=version)
     return build_partition_index(
         part.num_polygons,
         part.members,
@@ -267,22 +323,47 @@ def _apply_admin(service: JoinService, msg: tuple) -> object:
     """Execute one control message against a shard's JoinService.
 
     Shared by the process worker loop and the inline backend, so both
-    backends cannot diverge in behavior.
+    backends cannot diverge in behavior.  ``ping`` is answered by the
+    backends themselves (the reply carries the worker-side build/attach
+    timing only they know).  Layer ops reply with their sub-index
+    materialization time, so the front can meter attach latency.
     """
     op = msg[0]
-    if op == "ping":
-        return None
     if op == "stats":
         return service.stats()
     if op == "swap":
         _, name, part = msg
-        service.swap_layer(name, _index_from_part(part, fresh_version=True))
-        return None
+        with Timer() as timer:
+            index = _index_from_part(part, fresh_version=True)
+        service.swap_layer(name, index)
+        return {"build_seconds": timer.seconds}
     if op == "add_layer":
         _, name, part = msg
-        service.add_layer(name, _index_from_part(part, fresh_version=False))
-        return None
+        with Timer() as timer:
+            index = _index_from_part(part, fresh_version=False)
+        service.add_layer(name, index)
+        return {"build_seconds": timer.seconds}
     raise ValueError(f"unknown shard op: {op!r}")
+
+
+class _AttachedSegment(SharedMemory):
+    """An attachment whose finalizer tolerates still-exported views.
+
+    A flat-snapshot worker pins its attach handle inside the index it
+    serves; when the index is dropped (swap retirement, shutdown) the
+    interpreter may finalize the handle *before* the numpy views into
+    its buffer, and the stock destructor then raises — and prints — a
+    ``BufferError``.  The mapping is released regardless once the last
+    view goes away, so the error is pure shutdown noise; swallow it.
+    An explicit, orderly ``close()`` (the batch-read path) is
+    unaffected.
+    """
+
+    def __del__(self):
+        try:
+            super().__del__()
+        except BufferError:
+            pass
 
 
 def _attach_shm(name: str) -> SharedMemory:
@@ -297,9 +378,9 @@ def _attach_shm(name: str) -> SharedMemory:
     Explicitly unregistering instead would corrupt that shared cache.
     """
     try:
-        return SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+        return _AttachedSegment(name=name, track=False)  # type: ignore[call-arg]
     except TypeError:  # Python < 3.13: no track parameter
-        return SharedMemory(name=name)
+        return _AttachedSegment(name=name)
 
 
 def _read_shm_batch(
@@ -370,14 +451,18 @@ def _worker_join(service: JoinService, msg: tuple, shard: int):
 def _shard_worker_main(conn, payload: _WorkerPayload) -> None:
     """Entry point of one shard worker process (spawn-safe: module level).
 
-    Builds the partition sub-indexes and the shard's JoinService, then
-    answers control messages until ``close`` or the pipe drops.  Every
-    reply is ``("ok", value)`` or ``("err", traceback_text)`` — a failed
-    request never kills the worker, so one poisoned batch cannot take a
-    shard (and every batch it would have served) down with it.
+    Builds (or attaches) the partition sub-indexes and the shard's
+    JoinService, then answers control messages until ``close`` or the
+    pipe drops.  Every reply is ``("ok", value)`` or ``("err",
+    traceback_text)`` — a failed request never kills the worker, so one
+    poisoned batch cannot take a shard (and every batch it would have
+    served) down with it.  The ``ping`` reply carries the service
+    construction time, so the front's spawn barrier doubles as the
+    attach-vs-rebuild measurement the bench reports.
     """
     try:
-        service = _build_shard_service(payload)
+        with Timer() as build_timer:
+            service = _build_shard_service(payload)
     except BaseException:
         try:
             conn.send(("err", traceback.format_exc()))
@@ -396,6 +481,8 @@ def _shard_worker_main(conn, payload: _WorkerPayload) -> None:
             try:
                 if msg[0] == "join":
                     reply = ("ok", _worker_join(service, msg, payload.shard))
+                elif msg[0] == "ping":
+                    reply = ("ok", {"build_seconds": build_timer.seconds})
                 else:
                     reply = ("ok", _apply_admin(service, msg))
             except BaseException:
@@ -532,12 +619,17 @@ class _InlineShard:
 
     def __init__(self, payload: _WorkerPayload):
         self.shard = payload.shard
-        self._service = _build_shard_service(payload)
+        with Timer() as build_timer:
+            self._service = _build_shard_service(payload)
+        self._build_seconds = build_timer.seconds
         self._pending: tuple[str, object] | None = None
 
     def start(self, msg: tuple) -> None:
         try:
-            self._pending = ("ok", _apply_admin(self._service, msg))
+            if msg[0] == "ping":
+                self._pending = ("ok", {"build_seconds": self._build_seconds})
+            else:
+                self._pending = ("ok", _apply_admin(self._service, msg))
         except BaseException as exc:
             self._pending = ("err", exc)
 
@@ -651,6 +743,13 @@ class ShardedJoinService:
         ``"process"`` (default) spawns one worker process per shard and
         ships batches through shared memory; ``"inline"`` hosts the
         shard services in-process (tests, debugging).
+    snapshot:
+        ``"flat"`` (default) packs each shard's partition into a flat
+        snapshot segment once, front-side; workers (and every respawn
+        or swap) attach zero-copy.  ``"rebuild"`` ships covering cells
+        and rebuilds the store worker-side — the pre-flat behavior,
+        kept for the attach-vs-rebuild benchmark.  Both serve
+        bit-identical results.
     adaptation:
         Fans out to every shard worker: each shard runs its own
         adaptation loop over its partition and retrains/swaps locally.
@@ -686,6 +785,7 @@ class ShardedJoinService:
         latency_window: int = 8192,
         adaptation: AdaptationPolicy | None = None,
         backend: str = "process",
+        snapshot: str = "flat",
         start_method: str = "spawn",
         obs: Observability | None = None,
     ):
@@ -695,15 +795,35 @@ class ShardedJoinService:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
         if backend not in ("process", "inline"):
             raise ValueError(f"unknown backend {backend!r}")
+        if snapshot not in ("flat", "rebuild"):
+            raise ValueError(f"unknown snapshot mode {snapshot!r}")
         for name, index in layers.items():
             _check_shardable(name, index)
         self.num_shards = num_shards
         self.backend = backend
+        self.snapshot = snapshot
         self._cache_cells = cache_cells
         self._obs = obs
         self._tracer: Tracer = obs.tracer if obs is not None else NULL_TRACER
         self._events = obs.events if obs is not None else None
         self._meters = DispatchMeters(obs.metrics) if obs is not None else None
+        metrics = obs.metrics if obs is not None else None
+        self._snapshot_bytes_gauge = (
+            metrics.gauge(
+                "shard_snapshot_bytes",
+                "flat snapshot payload bytes published by the shard front",
+            )
+            if metrics is not None
+            else None
+        )
+        self._attach_gauge = (
+            metrics.gauge(
+                "shard_attach_seconds",
+                "slowest worker-side sub-index attach/rebuild, last fan-out",
+            )
+            if metrics is not None
+            else None
+        )
         # The front's layer registry IS a LayerRouter: copy-on-write
         # snapshot reads, default-layer resolution, duplicate/rollback
         # validation — one implementation shared with JoinService.
@@ -712,19 +832,9 @@ class ShardedJoinService:
             name: ShardPlan.from_index(index, num_shards)
             for name, index in layers.items()
         }
-        payloads = [
-            _WorkerPayload(
-                shard=shard,
-                parts={
-                    name: _part_for(self._plans[name], shard, index)
-                    for name, index in self._router.items()
-                },
-                cache_cells=cache_cells,
-                adaptation=adaptation,
-                obs=obs.config() if obs is not None else None,
-            )
-            for shard in range(num_shards)
-        ]
+        # Flat-snapshot segments owned by the front, per layer, for the
+        # CURRENT generation; retired (and unlinked) on swap and close.
+        self._segments: dict[str, tuple[SharedMemory, ...]] = {}
         # One lock serializes scatter/gather dispatches and admin fan-outs:
         # worker pipes are request/response channels and must never see
         # interleaved conversations.
@@ -732,9 +842,32 @@ class ShardedJoinService:
         self._closed = False
         self._poisoned = False
         self._clients: list[_ProcessShard | _InlineShard] = []
+        self._spawn_seconds: tuple[float, ...] = ()
         try:
+            parts_by_layer: dict[str, list] = {}
+            for name, index in self._router.items():
+                parts, segments = self._publish_parts(self._plans[name], index)
+                parts_by_layer[name] = parts
+                if segments:
+                    self._segments[name] = segments
+            payloads = [
+                _WorkerPayload(
+                    shard=shard,
+                    parts={
+                        name: parts[shard]
+                        for name, parts in parts_by_layer.items()
+                    },
+                    cache_cells=cache_cells,
+                    adaptation=adaptation,
+                    obs=obs.config() if obs is not None else None,
+                )
+                for shard in range(num_shards)
+            ]
             if backend == "inline":
                 self._clients = [_InlineShard(p) for p in payloads]
+                reports = [
+                    client.request(("ping",)) for client in self._clients
+                ]
             else:
                 # Start the parent's resource tracker BEFORE creating
                 # workers: forked children must inherit it (a worker
@@ -746,20 +879,35 @@ class ShardedJoinService:
                 resource_tracker.ensure_running()
                 ctx = get_context(start_method)
                 self._clients = [_ProcessShard(ctx, p) for p in payloads]
-                for client in self._clients:
-                    client.request(("ping",))  # barrier: surfaces build errors
+                # Barrier: surfaces build errors; the replies carry each
+                # worker's service construction time (attach or rebuild).
+                reports = [
+                    client.request(("ping",)) for client in self._clients
+                ]
         except BaseException:
+            # A mid-spawn failure must not leak the published segments:
+            # the workers that did come up only hold attachments, and
+            # the front owns every segment it created.
             for client in self._clients:
                 client.close()
+            self._release_segments(self._segments)
+            self._segments = {}
             raise
+        self._spawn_seconds = tuple(
+            float(report["build_seconds"]) for report in reports
+        )
+        self._set_snapshot_gauges(self._spawn_seconds)
         if self._events is not None:
             for payload in payloads:
                 self._events.emit(
                     "shard_spawn",
                     shard=payload.shard,
                     backend=backend,
+                    snapshot=snapshot,
+                    spawn_seconds=self._spawn_seconds[payload.shard],
                     num_polygons=sum(
-                        len(part.members) for part in payload.parts.values()
+                        len(plan.members[payload.shard])
+                        for plan in self._plans.values()
                     ),
                 )
         self._recorder = LatencyRecorder(window=latency_window)
@@ -782,6 +930,71 @@ class ShardedJoinService:
         """The live shard plan of one layer."""
         name, _ = self._router.resolve(layer)
         return self._plans[name]
+
+    @property
+    def spawn_seconds(self) -> tuple[float, ...]:
+        """Per-shard worker-side service construction time (the spawn
+        barrier's ping replies): a zero-copy attach under ``"flat"``, a
+        full partition store build under ``"rebuild"``."""
+        return self._spawn_seconds
+
+    # ------------------------------------------------------------------
+    # Snapshot segment publication (flat mode)
+    # ------------------------------------------------------------------
+
+    def _publish_parts(
+        self, plan: ShardPlan, index: PolygonIndex
+    ) -> tuple[list[_ShardPart | _FlatShardPart], tuple[SharedMemory, ...]]:
+        """One part per shard; ``"flat"`` publishes front-owned segments.
+
+        The returned segments are the new generation's — the caller
+        installs them into ``_segments`` only once the fan-out
+        succeeded, and must release them itself on failure.
+        """
+        if self.snapshot == "rebuild":
+            return (
+                [
+                    _part_for(plan, shard, index)
+                    for shard in range(self.num_shards)
+                ],
+                (),
+            )
+        parts: list[_ShardPart | _FlatShardPart] = []
+        segments: list[SharedMemory] = []
+        try:
+            for shard in range(self.num_shards):
+                part, segment = _flat_part_for(plan, shard, index)
+                parts.append(part)
+                segments.append(segment)
+        except BaseException:
+            self._release_segments({"": tuple(segments)})
+            raise
+        return parts, tuple(segments)
+
+    @staticmethod
+    def _release_segments(
+        segments: Mapping[str, tuple[SharedMemory, ...]]
+    ) -> None:
+        """Unlink (and drop) every segment of the given generations."""
+        for generation in segments.values():
+            for segment in generation:
+                try:
+                    segment.close()
+                    segment.unlink()
+                except FileNotFoundError:  # pragma: no cover - already gone
+                    pass
+
+    def _set_snapshot_gauges(self, build_seconds: Sequence[float]) -> None:
+        if self._snapshot_bytes_gauge is not None:
+            self._snapshot_bytes_gauge.set(
+                sum(
+                    segment.size
+                    for generation in self._segments.values()
+                    for segment in generation
+                )
+            )
+        if self._attach_gauge is not None and build_seconds:
+            self._attach_gauge.set(max(build_seconds))
 
     # ------------------------------------------------------------------
     # Batch path
@@ -1038,16 +1251,29 @@ class ShardedJoinService:
                     f"{index.version} (currently {previous.version})"
                 )
             plan = ShardPlan.from_index(index, self.num_shards)
-            self._admin_fan_out(
-                [
-                    ("swap", name, _part_for(plan, shard, index))
-                    for shard in range(self.num_shards)
-                ]
-            )
+            parts, segments = self._publish_parts(plan, index)
+            try:
+                reports = self._admin_fan_out(
+                    [("swap", name, part) for part in parts]
+                )
+            except BaseException:
+                # Whether the workers kept the previous generation or
+                # the service got poisoned, the new segments are the
+                # front's to reclaim (attached workers keep mappings).
+                self._release_segments({name: segments})
+                raise
             # Publish only after EVERY shard swapped, so dispatches always
-            # scatter by the plan matching what the workers serve.
+            # scatter by the plan matching what the workers serve.  The
+            # retired generation's segments unlink now; workers holding
+            # the old attachment keep their mappings until they drop it.
+            self._release_segments({name: self._segments.pop(name, ())})
+            if segments:
+                self._segments[name] = segments
             self._plans[name] = plan
             previous = self._router.swap(name, index)
+            self._set_snapshot_gauges(
+                [report["build_seconds"] for report in reports]
+            )
         if self._events is not None:
             self._events.emit(
                 "swap",
@@ -1067,14 +1293,21 @@ class ShardedJoinService:
             if name in self._router:
                 raise ValueError(f"layer {name!r} is already registered")
             plan = ShardPlan.from_index(index, self.num_shards)
-            self._admin_fan_out(
-                [
-                    ("add_layer", name, _part_for(plan, shard, index))
-                    for shard in range(self.num_shards)
-                ]
-            )
+            parts, segments = self._publish_parts(plan, index)
+            try:
+                reports = self._admin_fan_out(
+                    [("add_layer", name, part) for part in parts]
+                )
+            except BaseException:
+                self._release_segments({name: segments})
+                raise
+            if segments:
+                self._segments[name] = segments
             self._plans[name] = plan
             self._router.add(name, index)
+            self._set_snapshot_gauges(
+                [report["build_seconds"] for report in reports]
+            )
         if self._events is not None:
             self._events.emit(
                 "add_layer",
@@ -1083,7 +1316,7 @@ class ShardedJoinService:
                 shards=self.num_shards,
             )
 
-    def _admin_fan_out(self, messages: list[tuple]) -> None:
+    def _admin_fan_out(self, messages: list[tuple]) -> list:
         """Scatter one admin message per shard; gather before returning.
 
         All-or-nothing is required for layer management: if SOME shards
@@ -1092,7 +1325,8 @@ class ShardedJoinService:
         them — the service is poisoned (every later call raises) rather
         than silently serving mixed generations.  A failure on EVERY
         shard leaves the previous state intact everywhere, so the
-        service stays usable.
+        service stays usable.  Returns the per-shard reply values (the
+        workers' sub-index materialization timings).
         """
         gathered, errors = _scatter_gather(
             [
@@ -1104,6 +1338,7 @@ class ShardedJoinService:
             if 0 < len(gathered) < len(self._clients):
                 self._poisoned = True
             raise errors[0]
+        return [value for _, value in gathered]
 
     # ------------------------------------------------------------------
     # Observability & lifecycle
@@ -1191,7 +1426,12 @@ class ShardedJoinService:
             )
 
     def close(self) -> None:
-        """Drain pending lookups, stop every shard worker, reap processes."""
+        """Drain pending lookups, stop every shard worker, reap processes.
+
+        Unlinks every snapshot segment the front published — after the
+        workers are down, so no attach can race the unlink (and even if
+        one did, an attached mapping survives its unlink on POSIX).
+        """
         if self._closed:
             return
         self._closed = True
@@ -1199,6 +1439,9 @@ class ShardedJoinService:
         with self._lock:
             for client in self._clients:
                 client.close()
+            self._release_segments(self._segments)
+            self._segments = {}
+            self._set_snapshot_gauges(())
 
     def __enter__(self) -> "ShardedJoinService":
         return self

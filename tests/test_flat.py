@@ -1,0 +1,334 @@
+"""Tests for the zero-copy snapshot plane (repro.core.flat).
+
+The flat path's whole contract is *bit-identical, allocation-free*:
+``FlatProbeView`` joins must match the object-backed ``ProbeView`` on
+every ``JoinResult`` field, for arbitrary point streams, including after
+a dynamic compaction emitted the flat base and after a served swap; and
+the probe hot loop must not allocate per-entry Python objects.
+"""
+
+import tracemalloc
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DynamicPolygonIndex,
+    FlatCellStore,
+    FlatPolygonIndex,
+    FlatProbeView,
+    FlatSnapshot,
+    PolygonIndex,
+    as_flat_index,
+    attach_index,
+    pack_index,
+)
+from repro.geo.polygon import regular_polygon
+from repro.serve import JoinService
+
+#: Every JoinResult field two equivalent joins must agree on exactly.
+STAT_FIELDS = (
+    "num_points",
+    "num_pairs",
+    "num_true_hit_pairs",
+    "num_candidate_pairs",
+    "num_pip_tests",
+    "solely_true_hits",
+)
+
+
+def _grid_polygons(n=3, step=0.02, radius=0.011):
+    return [
+        regular_polygon((-74.0 + gx * step, 40.70 + gy * step), radius, 16)
+        for gx in range(n)
+        for gy in range(n)
+    ]
+
+
+def _points(seed, count):
+    rng = np.random.default_rng(seed)
+    lngs = rng.uniform(-74.05, -73.91, count)
+    lats = rng.uniform(40.65, 40.79, count)
+    return lats, lngs
+
+
+def assert_identical(a, b):
+    assert np.array_equal(a.counts, b.counts)
+    for field in STAT_FIELDS:
+        assert getattr(a, field) == getattr(b, field), field
+    if a.pair_points is not None:
+        assert set(
+            zip(a.pair_points.tolist(), a.pair_polygons.tolist())
+        ) == set(zip(b.pair_points.tolist(), b.pair_polygons.tolist()))
+
+
+@pytest.fixture(scope="module")
+def index():
+    return PolygonIndex.build(_grid_polygons(), precision_meters=30.0)
+
+
+@pytest.fixture(scope="module")
+def flat(index):
+    return as_flat_index(index)
+
+
+class TestSnapshotContainer:
+    def test_roundtrip_through_bytes(self, index):
+        snapshot = pack_index(index)
+        blob = snapshot.to_bytes()
+        again = FlatSnapshot.from_buffer(blob)
+        assert set(again.buffers) == set(snapshot.buffers)
+        for name, array in snapshot.buffers.items():
+            assert np.array_equal(again.buffers[name], array), name
+        assert again.meta["num_polygons"] == len(index.polygons)
+
+    def test_save_load_mmap(self, index, tmp_path):
+        snapshot = pack_index(index)
+        path = tmp_path / "snap.flat"
+        snapshot.save(path)
+        attached = FlatSnapshot.load(path, mmap_mode="r")
+        for name, array in snapshot.buffers.items():
+            assert np.array_equal(attached.buffers[name], array), name
+
+    def test_shared_memory_attach_tolerates_page_rounding(self, index):
+        snapshot = pack_index(index)
+        segment = snapshot.to_shared_memory()
+        try:
+            # The segment is page-rounded, so the blob has trailing bytes
+            # the reader must ignore.
+            assert segment.size >= snapshot.nbytes
+            attached = FlatSnapshot.from_buffer(segment.buf, owner=segment)
+            for name, array in snapshot.buffers.items():
+                assert np.array_equal(attached.buffers[name], array), name
+            del attached
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_nbytes_sums_buffers(self, index):
+        snapshot = pack_index(index)
+        assert snapshot.nbytes == sum(
+            a.nbytes for a in snapshot.buffers.values()
+        )
+
+    def test_attach_preserves_or_stamps_version(self, index):
+        snapshot = pack_index(index)
+        pinned = attach_index(snapshot, version=index.version)
+        assert pinned.version == index.version
+        fresh = attach_index(snapshot)
+        assert fresh.version > index.version
+
+    def test_as_flat_index_passthrough(self, index, flat):
+        assert as_flat_index(flat) is flat
+        assert flat.version == index.version
+        assert isinstance(flat, FlatPolygonIndex)
+        assert isinstance(flat.store, FlatCellStore)
+        assert isinstance(flat.probe_view(), FlatProbeView)
+
+
+class TestFlatParity:
+    """FlatProbeView joins are bit-identical to the object-backed path."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**20),
+        num_points=st.integers(min_value=0, max_value=400),
+        exact=st.booleans(),
+    )
+    def test_join_bit_identical(self, index, flat, seed, num_points, exact):
+        lats, lngs = _points(seed, num_points)
+        direct = index.join(lats, lngs, exact=exact, materialize=True)
+        attached = flat.join(lats, lngs, exact=exact, materialize=True)
+        assert_identical(attached, direct)
+
+    def test_probe_matches_store(self, index, flat):
+        lats, lngs = _points(5, 3000)
+        cell_ids = index.cell_ids_for(lats, lngs)
+        assert np.array_equal(
+            flat.store.probe(cell_ids), index.store.probe(cell_ids)
+        )
+
+    def test_lookup_table_decodes_identically(self, index, flat):
+        lats, lngs = _points(6, 2000)
+        entries = index.store.probe(index.cell_ids_for(lats, lngs))
+        for entry in np.unique(entries[entries != 0]):
+            assert flat.lookup_table.decode_entry(
+                int(entry)
+            ) == index.lookup_table.decode_entry(int(entry))
+
+    def test_containing_polygons(self, index, flat):
+        lats, lngs = _points(7, 50)
+        for lat, lng in zip(lats, lngs):
+            assert flat.containing_polygons(lat, lng) == (
+                index.containing_polygons(lat, lng)
+            )
+
+    def test_describe_marks_flat(self, index, flat):
+        desc = flat.store.describe()
+        assert desc["flat"] is True
+        assert desc["num_keys"] == index.store.describe()["num_keys"]
+
+
+class TestDynamicCompactionParity:
+    """A flat_snapshots dynamic index stays bit-identical through its
+    whole lifecycle: overlay serving, compaction (which emits the flat
+    base), and post-compaction serving."""
+
+    @pytest.fixture(scope="class")
+    def dynamic_pair(self):
+        polygons = _grid_polygons()
+        extra = [
+            regular_polygon((-73.95, 40.76), 0.012, 11),
+            regular_polygon((-74.03, 40.67), 0.012, 13),
+        ]
+        pair = []
+        for flat_snapshots in (False, True):
+            dyn = DynamicPolygonIndex.build(
+                polygons,
+                precision_meters=30.0,
+                compact_threshold=2,
+                flat_snapshots=flat_snapshots,
+            )
+            dyn.insert(extra[0])
+            dyn.insert(extra[1])  # triggers a synchronous compaction
+            dyn.delete(0)  # pending overlay op on top of the flat base
+            pair.append(dyn)
+        return pair
+
+    def test_compaction_emits_flat_base(self, dynamic_pair):
+        plain, flat = dynamic_pair
+        assert isinstance(flat.export_state().base, FlatPolygonIndex)
+        assert not isinstance(plain.export_state().base, FlatPolygonIndex)
+        assert flat.compactions >= 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**20),
+        num_points=st.integers(min_value=0, max_value=300),
+        exact=st.booleans(),
+    )
+    def test_join_bit_identical_after_compaction(
+        self, dynamic_pair, seed, num_points, exact
+    ):
+        plain, flat = dynamic_pair
+        lats, lngs = _points(seed, num_points)
+        assert_identical(
+            flat.join(lats, lngs, exact=exact, materialize=True),
+            plain.join(lats, lngs, exact=exact, materialize=True),
+        )
+
+    def test_flat_snapshots_rejects_custom_store(self):
+        from repro.baselines import SortedVectorStore
+
+        with pytest.raises(ValueError, match="flat_snapshots"):
+            DynamicPolygonIndex.build(
+                _grid_polygons(2),
+                store_factory=SortedVectorStore,
+                flat_snapshots=True,
+            )
+
+
+class TestServedSwapParity:
+    """A flat_views service serves flat layers — and swaps stay flat."""
+
+    @pytest.fixture(scope="class")
+    def swapped_service(self):
+        first = PolygonIndex.build(_grid_polygons(2), precision_meters=60.0)
+        second = PolygonIndex.build(_grid_polygons(), precision_meters=30.0)
+        service = JoinService(first, flat_views=True)
+        service.swap_layer("default", second)
+        yield service, second
+        service.close()
+
+    def test_router_holds_flat_index(self, swapped_service):
+        service, second = swapped_service
+        _, live = service._router.resolve(None)
+        assert isinstance(live, FlatPolygonIndex)
+        assert live.version == second.version
+        assert isinstance(live.probe_view(), FlatProbeView)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**20),
+        num_points=st.integers(min_value=0, max_value=300),
+        exact=st.booleans(),
+    )
+    def test_served_join_bit_identical(
+        self, swapped_service, seed, num_points, exact
+    ):
+        service, second = swapped_service
+        lats, lngs = _points(seed, num_points)
+        assert_identical(
+            service.join(lats, lngs, exact=exact, materialize=True),
+            second.join(lats, lngs, exact=exact, materialize=True),
+        )
+
+    def test_dynamic_layer_passes_through(self):
+        dyn = DynamicPolygonIndex.build(
+            _grid_polygons(2), compact_threshold=None
+        )
+        with JoinService(dyn, flat_views=True) as service:
+            _, live = service._router.resolve(None)
+            assert live is dyn
+
+
+def _allocation_count(fn):
+    """Python allocations attributed to running ``fn`` once."""
+    tracemalloc.start()
+    try:
+        fn()  # warm: caches, lazy imports, bytecode
+        before = tracemalloc.take_snapshot()
+        fn()
+        after = tracemalloc.take_snapshot()
+    finally:
+        tracemalloc.stop()
+    return sum(
+        max(diff.count_diff, 0)
+        for diff in after.compare_to(before, "lineno")
+    )
+
+
+class TestAllocationFreeProbe:
+    """The flat probe hot loop allocates no per-entry Python objects.
+
+    The object-backed path would allocate at least one object per
+    returned entry; the flat path's allocation count must be a small
+    constant (numpy temporaries per trie level), independent of the
+    batch size.
+    """
+
+    def test_probe_allocations_do_not_scale_with_batch(self, index, flat):
+        lats, lngs = _points(11, 50_000)
+        cell_ids = index.cell_ids_for(lats, lngs)
+        small, big = cell_ids[:2_000], cell_ids
+        count_small = _allocation_count(lambda: flat.store.probe(small))
+        count_big = _allocation_count(lambda: flat.store.probe(big))
+        # 25x the entries, same handful of numpy temporaries.
+        assert count_big < 500, count_big
+        assert count_big <= count_small + 100, (count_small, count_big)
+
+
+class TestNoStoreBuildOnLoad:
+    def test_v3_load_is_an_attach(self, index, tmp_path, monkeypatch):
+        """``load_index`` on a v3 file must not run any store build."""
+        import repro.core.builder as builder_mod
+        import repro.core.serialize as serialize_mod
+        from repro.core.serialize import load_index, save_index
+
+        path = tmp_path / "attach.flat"
+        save_index(index, path)
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("store build ran during a v3 load")
+
+        monkeypatch.setattr(builder_mod, "build_store", forbidden)
+        monkeypatch.setattr(serialize_mod, "build_store", forbidden)
+        loaded = load_index(path)
+        assert isinstance(loaded, FlatPolygonIndex)
+        lats, lngs = _points(13, 2000)
+        assert_identical(
+            loaded.join(lats, lngs, exact=True, materialize=True),
+            index.join(lats, lngs, exact=True, materialize=True),
+        )

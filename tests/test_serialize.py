@@ -90,12 +90,22 @@ class TestErrors:
             save_index(index, tmp_path / "x.npz")
 
     def test_version_check(self, polygons, tmp_path):
-        import json
+        from repro.core.flat import FlatSnapshot
 
         index = PolygonIndex.build(polygons)
         path = tmp_path / "index.npz"
         save_index(index, path)
-        with np.load(path, allow_pickle=True) as archive:
+        snapshot = FlatSnapshot.load(path, mmap_mode=None)
+        snapshot.meta["format_version"] = 999
+        bad = tmp_path / "bad.npz"
+        snapshot.save(bad)
+        with pytest.raises(ValueError):
+            load_index(bad)
+
+    def test_version_check_legacy(self, tmp_path):
+        import json
+
+        with np.load(FIXTURE_V1, allow_pickle=True) as archive:
             payload = {k: archive[k] for k in archive.files}
         meta = json.loads(bytes(payload["meta"]).decode("utf-8"))
         meta["format_version"] = 999
@@ -107,10 +117,12 @@ class TestErrors:
 
 
 FIXTURE_V1 = pathlib.Path(__file__).parent / "data" / "index_v1.npz"
+FIXTURE_V2 = pathlib.Path(__file__).parent / "data" / "index_v2.npz"
 
 
 class TestBackwardCompatibility:
-    """A checked-in FORMAT_VERSION 1 file keeps loading bit-identically."""
+    """Checked-in FORMAT_VERSION 1 and 2 files keep loading bit-identically
+    under the flat (v3) reader."""
 
     def test_v1_fixture_loads(self):
         index = load_index(FIXTURE_V1)
@@ -126,6 +138,51 @@ class TestBackwardCompatibility:
             precision_meters=loaded.precision_meters,
             fanout_bits=loaded.store.fanout_bits,
         )
+        generator = np.random.default_rng(17)
+        lngs = generator.uniform(-74.01, -73.97, 6000)
+        lats = generator.uniform(40.69, 40.73, 6000)
+        for exact in (False, True):
+            a = loaded.join(lats, lngs, exact=exact, materialize=True)
+            b = fresh.join(lats, lngs, exact=exact, materialize=True)
+            assert (a.counts == b.counts).all()
+            assert set(zip(a.pair_points.tolist(), a.pair_polygons.tolist())) == set(
+                zip(b.pair_points.tolist(), b.pair_polygons.tolist())
+            )
+
+    def test_v2_fixture_is_a_legacy_npz(self):
+        # The fixture must actually exercise the legacy reader: a real
+        # FORMAT_VERSION 2 npz archive, not a re-saved flat blob.
+        import json
+
+        archive = np.load(FIXTURE_V2, allow_pickle=True)
+        meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
+        assert meta["format_version"] == 2
+        assert meta["dynamic"] is True
+
+    def test_v2_fixture_loads(self):
+        from repro.core import DynamicPolygonIndex
+
+        index = load_index(FIXTURE_V2)
+        assert isinstance(index, DynamicPolygonIndex)
+        assert index.delta_size == 2  # pending insert + delete survive
+        assert index.precision_meters == 60.0
+
+    def test_v2_fixture_join_bit_identical_to_fresh_build(self):
+        from repro.core import DynamicPolygonIndex
+
+        loaded = load_index(FIXTURE_V2)
+        state = loaded.export_state()
+        fresh = DynamicPolygonIndex.build(
+            list(state.base.polygons),
+            precision_meters=loaded.precision_meters,
+            fanout_bits=4,
+            compact_threshold=None,
+        )
+        for op in state.pending:
+            if op.kind == "insert":
+                fresh.insert(op.polygon)
+            else:
+                fresh.delete(op.polygon_id)
         generator = np.random.default_rng(17)
         lngs = generator.uniform(-74.01, -73.97, 6000)
         lats = generator.uniform(40.69, 40.73, 6000)

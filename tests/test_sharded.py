@@ -260,9 +260,13 @@ class TestPartialFailureHandling:
             calls = []
 
             def flaky(part, *, fresh_version):
-                calls.append(fresh_version)
-                if fresh_version and len(calls) >= 2:
-                    raise MemoryError("simulated worker build failure")
+                # Only worker-side builds count: the front also calls
+                # _index_from_part (fresh_version=False) when packing
+                # the flat snapshot it publishes to the workers.
+                if fresh_version:
+                    calls.append(part)
+                    if len(calls) >= 2:
+                        raise MemoryError("simulated worker build failure")
                 return real(part, fresh_version=fresh_version)
 
             monkeypatch.setattr(sharded_mod, "_index_from_part", flaky)
@@ -388,3 +392,88 @@ class TestProcessBackend:
                     svc.join(lats[:2000], lngs[:2000], exact=True)
         finally:
             svc.close()
+
+
+class TestSnapshotSegmentLifecycle:
+    """Flat-snapshot shared-memory segments must never leak.
+
+    The front owns every segment it publishes: close() unlinks them all,
+    swap retires the previous generation, and a failure mid-spawn or
+    mid-swap releases whatever was already published.
+    """
+
+    @staticmethod
+    def _shm_names():
+        import pathlib
+
+        base = pathlib.Path("/dev/shm")
+        if not base.is_dir():  # pragma: no cover - non-POSIX
+            pytest.skip("no /dev/shm to enumerate")
+        return {p.name for p in base.iterdir()}
+
+    def test_close_unlinks_every_segment(self, index, points):
+        lats, lngs = points
+        before = self._shm_names()
+        svc = ShardedJoinService(index, num_shards=2, backend="process")
+        try:
+            created = self._shm_names() - before
+            assert created  # flat mode published at least one segment
+            assert {s.name for segs in svc._segments.values() for s in segs} <= created
+            assert_identical(
+                svc.join(lats[:1000], lngs[:1000], exact=True),
+                index.join(lats[:1000], lngs[:1000], exact=True),
+            )
+        finally:
+            svc.close()
+        assert self._shm_names() - before == set()
+
+    def test_swap_retires_the_previous_generation(self, index, swap_index):
+        before = self._shm_names()
+        with ShardedJoinService(index, num_shards=2, backend="inline") as svc:
+            first = self._shm_names() - before
+            svc.swap_layer("default", swap_index)
+            second = self._shm_names() - before
+            # The old generation's segments are gone, the new one's live.
+            assert first & second == set()
+            assert second
+        assert self._shm_names() - before == set()
+
+    def test_mid_spawn_failure_unlinks_segments(self, index, monkeypatch):
+        import repro.serve.sharded as sharded_mod
+
+        real = sharded_mod._build_shard_service
+        calls = []
+
+        def flaky(payload):
+            calls.append(payload.shard)
+            if len(calls) >= 2:
+                raise MemoryError("simulated spawn failure on shard 1")
+            return real(payload)
+
+        monkeypatch.setattr(sharded_mod, "_build_shard_service", flaky)
+        before = self._shm_names()
+        with pytest.raises(MemoryError):
+            ShardedJoinService(index, num_shards=2, backend="inline")
+        assert self._shm_names() - before == set()
+
+    def test_spawn_seconds_reported_per_shard(self, index):
+        with ShardedJoinService(index, num_shards=2, backend="inline") as svc:
+            assert len(svc.spawn_seconds) == 2
+            assert all(s >= 0 for s in svc.spawn_seconds)
+
+    def test_rebuild_mode_publishes_no_segments(self, index, points):
+        lats, lngs = points
+        before = self._shm_names()
+        with ShardedJoinService(
+            index, num_shards=2, backend="inline", snapshot="rebuild"
+        ) as svc:
+            assert self._shm_names() - before == set()
+            assert svc._segments == {}
+            assert_identical(
+                svc.join(lats[:1000], lngs[:1000], exact=True),
+                index.join(lats[:1000], lngs[:1000], exact=True),
+            )
+
+    def test_invalid_snapshot_mode_rejected(self, index):
+        with pytest.raises(ValueError, match="snapshot"):
+            ShardedJoinService(index, num_shards=2, snapshot="bogus")
