@@ -1,0 +1,48 @@
+"""Static concurrency & lifecycle analysis for the repro serve stack.
+
+The serve stack spans locks, copy-on-write routers, background
+compaction/retrain threads, shared-memory snapshot segments, and
+spawn-pickled worker payloads.  Every invariant those pieces rely on is
+conventional — nothing in Python enforces that a guarded attribute is
+only touched under its lock, that a created shared-memory segment is
+eventually unlinked, or that two locks are always taken in the same
+order.  This package enforces them mechanically:
+
+* ``python -m repro.analysis src/`` (also installed as ``repro-analyze``)
+  runs an AST-based rule suite over the tree and reports findings as
+  text or JSON.  Inline ``# repro: ignore[rule-name]`` comments suppress
+  single findings; a checked-in baseline file grandfathers the rest.
+* :mod:`repro.analysis.sanitizer` is the runtime companion: an opt-in
+  instrumented ``Lock``/``RLock`` wrapper that records acquisition order
+  per thread and raises on inversions.  The test suite installs it when
+  ``REPRO_SANITIZE=1``.
+
+Rules live in :mod:`repro.analysis.rules`; see ``DESIGN.md`` for the
+rule table and the annotation grammar (``#: guarded_by(_lock)``,
+``#: guarded_by(_lock, writes)``, ``#: requires(_lock)``,
+``#: spawn_payload``).
+"""
+
+from repro.analysis.core import (
+    Analyzer,
+    Finding,
+    ModuleInfo,
+    Project,
+    Rule,
+    Severity,
+)
+from repro.analysis.baseline import load_baseline, write_baseline
+from repro.analysis.report import render_json, render_text
+
+__all__ = [
+    "Analyzer",
+    "Finding",
+    "ModuleInfo",
+    "Project",
+    "Rule",
+    "Severity",
+    "load_baseline",
+    "write_baseline",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,66 @@
+"""Baseline files: grandfathered finding fingerprints, one per line.
+
+A baseline lets the analyzer gate CI from day one without blocking on a
+full cleanup: known findings are recorded by fingerprint (which is
+line-number independent, see :class:`repro.analysis.core.Finding`) and
+filtered from the failing set until someone deletes the entry.  Lines
+starting with ``#`` are comments; the conventional format is
+
+    # <why this finding is deferred, and what unblocks removing it>
+    guarded-by:src/repro/foo.py:Foo.bar:attr#1
+
+``--write-baseline`` regenerates the file from the current findings so
+entries never go stale silently: a fixed finding disappears from the
+rewrite, and the run reports baseline entries that no longer match.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from collections.abc import Iterable, Sequence
+
+from repro.analysis.core import Finding
+
+__all__ = ["load_baseline", "write_baseline", "split_baselined"]
+
+_HEADER = """\
+# repro.analysis baseline — grandfathered findings, one fingerprint per line.
+# Delete a line once its finding is fixed; add a comment above any entry
+# explaining why it is deferred.  Regenerate with:
+#   python -m repro.analysis src/ --write-baseline
+"""
+
+
+def load_baseline(path: Path) -> set[str]:
+    """Read fingerprints from ``path``; missing file means empty baseline."""
+    if not path.exists():
+        return set()
+    entries: set[str] = set()
+    for raw in path.read_text().splitlines():
+        line = raw.strip()
+        if line and not line.startswith("#"):
+            entries.add(line)
+    return entries
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> None:
+    lines = [_HEADER]
+    for finding in sorted(findings, key=lambda f: f.fingerprint):
+        lines.append(finding.fingerprint)
+    path.write_text("\n".join(lines) + "\n")
+
+
+def split_baselined(
+    findings: Sequence[Finding], baseline: set[str]
+) -> tuple[list[Finding], list[Finding], set[str]]:
+    """Partition into (new, baselined) and report stale baseline entries."""
+    new: list[Finding] = []
+    old: list[Finding] = []
+    seen: set[str] = set()
+    for finding in findings:
+        if finding.fingerprint in baseline:
+            old.append(finding)
+            seen.add(finding.fingerprint)
+        else:
+            new.append(finding)
+    return new, old, baseline - seen

@@ -1,0 +1,52 @@
+"""Reporters: human-readable text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+
+from repro.analysis.core import Finding, Severity
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(
+    findings: Sequence[Finding],
+    baselined: Sequence[Finding] = (),
+    stale_baseline: Sequence[str] = (),
+) -> str:
+    lines: list[str] = []
+    for finding in findings:
+        lines.append(
+            f"{finding.path}:{finding.line}: {finding.severity}[{finding.rule}] "
+            f"{finding.message}"
+        )
+    errors = sum(1 for f in findings if f.severity == Severity.ERROR)
+    warnings = len(findings) - errors
+    summary = f"{errors} error(s), {warnings} warning(s)"
+    if baselined:
+        summary += f", {len(baselined)} baselined"
+    if stale_baseline:
+        summary += f", {len(stale_baseline)} stale baseline entr(y/ies)"
+        for entry in sorted(stale_baseline):
+            lines.append(f"stale baseline entry (fixed? delete it): {entry}")
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: Sequence[Finding],
+    baselined: Sequence[Finding] = (),
+    stale_baseline: Sequence[str] = (),
+) -> str:
+    payload = {
+        "findings": [f.as_dict() for f in findings],
+        "baselined": [f.as_dict() for f in baselined],
+        "stale_baseline": sorted(stale_baseline),
+        "summary": {
+            "errors": sum(1 for f in findings if f.severity == Severity.ERROR),
+            "warnings": sum(1 for f in findings if f.severity == Severity.WARNING),
+            "baselined": len(baselined),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,375 @@
+"""lock-order: the static lock acquisition graph must be acyclic.
+
+Two locks taken in opposite orders on two threads is the classic
+deadlock, and the serve stack has real multi-lock paths: the sharded
+front's dispatch lock wraps router swaps, the service attach lock wraps
+router and adaptive-controller calls, and dynamic-index compaction
+nests the version counter's module lock.  Until now the ordering was
+convention; this rule derives it.
+
+The rule builds one graph over the whole project:
+
+* **nodes** are lock *classes*, not instances — ``ClassName._lock`` for
+  ``self._lock = threading.Lock()/RLock()/Condition()`` attributes and
+  ``module:name`` for module-level locks,
+* **edges** ``A -> B`` whenever ``B`` is acquired while ``A`` is held:
+  directly (nested ``with``), or through a resolvable call chain
+  (``self.m()``, ``self.attr.m()`` via constructor-type inference,
+  same-module and ``from``-imported functions, and ``ClassName(...)``
+  constructors), with ``#: requires(_lock)`` methods counting as
+  holding their lock,
+* a **cycle** (including a self-edge on a non-reentrant ``Lock``) is an
+  error naming the locks and one witness location per edge.
+
+Unresolvable calls (dynamic dispatch, callbacks) contribute no edges —
+the graph is an under-approximation, so every reported cycle is backed
+by concrete acquisition sites.  The runtime companion
+(:mod:`repro.analysis.sanitizer`) covers the dynamic remainder.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from collections.abc import Iterable
+
+from repro.analysis.core import (
+    ClassInfo,
+    Finding,
+    ModuleInfo,
+    Project,
+    Rule,
+    self_attr,
+)
+
+_REENTRANT_KINDS = {"RLock", "Condition"}
+
+
+@dataclass(frozen=True)
+class _LockNode:
+    label: str  # "ClassName._lock" or "repro/core/builder.py:_version_lock"
+    kind: str  # "Lock" | "RLock" | "Condition"
+
+
+@dataclass
+class _Unit:
+    """One function-like body: a method or a module-level function."""
+
+    key: tuple[str, str]  # (scope, name); scope = class name or module relpath
+    module: ModuleInfo
+    cls: ClassInfo | None
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    requires: frozenset[_LockNode] = frozenset()
+    direct: set[_LockNode] = field(default_factory=set)
+    calls: set[tuple[str, str]] = field(default_factory=set)
+
+
+def _module_locks(module: ModuleInfo) -> dict[str, _LockNode]:
+    locks: dict[str, _LockNode] = {}
+    for node in module.tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        value = node.value
+        if not isinstance(value, ast.Call):
+            continue
+        func = value.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        if name not in ("Lock", "RLock", "Condition"):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                locks[target.id] = _LockNode(
+                    label=f"{module.relpath}:{target.id}", kind=name
+                )
+    return locks
+
+
+def _import_map(module: ModuleInfo) -> dict[str, tuple[str, str]]:
+    """imported name -> (source module dotted path, original name)."""
+    imports: dict[str, tuple[str, str]] = {}
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                imports[alias.asname or alias.name] = (node.module, alias.name)
+    return imports
+
+
+def _dotted(module: ModuleInfo) -> str:
+    path = module.relpath[:-3] if module.relpath.endswith(".py") else module.relpath
+    parts = [p for p in path.replace("\\", "/").split("/") if p not in ("src", "")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+class _Graph:
+    def __init__(self) -> None:
+        self.edges: dict[str, set[str]] = {}
+        self.witness: dict[tuple[str, str], tuple[str, int]] = {}
+        self.nodes: dict[str, _LockNode] = {}
+
+    def add(self, a: _LockNode, b: _LockNode, path: str, line: int) -> None:
+        self.nodes.setdefault(a.label, a)
+        self.nodes.setdefault(b.label, b)
+        self.edges.setdefault(a.label, set()).add(b.label)
+        self.witness.setdefault((a.label, b.label), (path, line))
+
+
+class LockOrderRule(Rule):
+    name = "lock-order"
+    description = (
+        "the project-wide static lock acquisition graph (nested 'with' "
+        "blocks plus resolvable calls) must contain no cycles"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        units, by_key = self._collect_units(project)
+        acquired = self._acquired_fixpoint(units, by_key)
+        graph = _Graph()
+        self_deadlocks: list[Finding] = []
+        for unit in units:
+            self._add_edges(unit, by_key, acquired, graph, project, self_deadlocks)
+        yield from self_deadlocks
+        yield from self._cycles(graph, project)
+
+    # -- unit collection ------------------------------------------------
+
+    def _collect_units(
+        self, project: Project
+    ) -> tuple[list[_Unit], dict[tuple[str, str], _Unit]]:
+        units: list[_Unit] = []
+        for module in project.modules:
+            mod_locks = _module_locks(module)
+            for node in module.tree.body:
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    units.append(
+                        _Unit((module.relpath, node.name), module, None, node)
+                    )
+        for cls in project.iter_classes():
+            for method in cls.methods.values():
+                requires: set[_LockNode] = set()
+                for annot in cls.module.annotations_for_line(
+                    method.lineno, "requires"
+                ):
+                    for lock in annot.args:
+                        kind = cls.lock_attrs.get(lock, "RLock")
+                        requires.add(_LockNode(f"{cls.name}.{lock}", kind))
+                units.append(
+                    _Unit(
+                        (cls.name, method.name),
+                        cls.module,
+                        cls,
+                        method,
+                        frozenset(requires),
+                    )
+                )
+        by_key = {unit.key: unit for unit in units}
+        # Pre-compute per-unit direct acquisitions and resolvable calls.
+        for unit in units:
+            mod_locks = _module_locks(unit.module)
+            for node in ast.walk(unit.node):
+                if isinstance(node, (ast.With, ast.AsyncWith)):
+                    for item in node.items:
+                        lock = self._lock_of(item.context_expr, unit, mod_locks)
+                        if lock is not None:
+                            unit.direct.add(lock)
+                elif isinstance(node, ast.Call):
+                    key = self._resolve_call(node, unit, project)
+                    if key is not None and key != unit.key:
+                        unit.calls.add(key)
+        return units, by_key
+
+    def _lock_of(
+        self, expr: ast.AST, unit: _Unit, mod_locks: dict[str, _LockNode]
+    ) -> _LockNode | None:
+        attr = self_attr(expr)
+        if attr is not None and unit.cls is not None:
+            kind = unit.cls.lock_attrs.get(attr)
+            if kind is not None:
+                return _LockNode(f"{unit.cls.name}.{attr}", kind)
+            return None
+        if isinstance(expr, ast.Name) and expr.id in mod_locks:
+            return mod_locks[expr.id]
+        return None
+
+    def _resolve_call(
+        self, call: ast.Call, unit: _Unit, project: Project
+    ) -> tuple[str, str] | None:
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            # self.m(...)
+            receiver_attr = self_attr(func.value)
+            if isinstance(func.value, ast.Name) and func.value.id == "self":
+                if unit.cls is not None and func.attr in unit.cls.methods:
+                    return (unit.cls.name, func.attr)
+                return None
+            # self.attr.m(...) via constructor-type inference
+            if receiver_attr is not None and unit.cls is not None:
+                type_name = unit.cls.attr_types.get(receiver_attr)
+                if type_name is not None:
+                    target = project.class_named(type_name)
+                    if target is not None and func.attr in target.methods:
+                        return (target.name, func.attr)
+            return None
+        if isinstance(func, ast.Name):
+            name = func.id
+            # Same-module function.
+            for node in unit.module.tree.body:
+                if (
+                    isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and node.name == name
+                ):
+                    return (unit.module.relpath, name)
+            # from-imported function.
+            imported = _import_map(unit.module).get(name)
+            if imported is not None:
+                source_dotted, original = imported
+                for module in project.modules:
+                    if _dotted(module) != source_dotted:
+                        continue
+                    for node in module.tree.body:
+                        if (
+                            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                            and node.name == original
+                        ):
+                            return (module.relpath, original)
+            # Constructor of an unambiguous project class.
+            target = project.class_named(name)
+            if target is not None and "__init__" in target.methods:
+                return (target.name, "__init__")
+        return None
+
+    # -- acquisition fixpoint -------------------------------------------
+
+    def _acquired_fixpoint(
+        self, units: list[_Unit], by_key: dict[tuple[str, str], _Unit]
+    ) -> dict[tuple[str, str], set[_LockNode]]:
+        acquired = {unit.key: set(unit.direct) for unit in units}
+        changed = True
+        while changed:
+            changed = False
+            for unit in units:
+                mine = acquired[unit.key]
+                before = len(mine)
+                for callee in unit.calls:
+                    if callee in acquired:
+                        mine |= acquired[callee]
+                if len(mine) != before:
+                    changed = True
+        return acquired
+
+    # -- edge generation -------------------------------------------------
+
+    def _add_edges(
+        self,
+        unit: _Unit,
+        by_key: dict[tuple[str, str], _Unit],
+        acquired: dict[tuple[str, str], set[_LockNode]],
+        graph: _Graph,
+        project: Project,
+        self_deadlocks: list[Finding],
+    ) -> None:
+        mod_locks = _module_locks(unit.module)
+
+        def note(held: frozenset[_LockNode], target: _LockNode, line: int) -> None:
+            for holder in held:
+                if holder.label == target.label:
+                    if target.kind not in _REENTRANT_KINDS:
+                        self_deadlocks.append(
+                            self.finding(
+                                unit.module,
+                                line,
+                                f"{target.label} (a non-reentrant "
+                                f"{target.kind}) may be re-acquired while "
+                                f"already held — self-deadlock",
+                                symbol=f"self:{target.label}:{unit.key[0]}."
+                                f"{unit.key[1]}",
+                            )
+                        )
+                    continue
+                graph.add(holder, target, unit.module.relpath, line)
+
+        def walk(node: ast.AST, held: frozenset[_LockNode]) -> None:
+            for child in ast.iter_child_nodes(node):
+                child_held = held
+                if isinstance(child, (ast.With, ast.AsyncWith)):
+                    acquired_here: set[_LockNode] = set()
+                    for item in child.items:
+                        lock = self._lock_of(item.context_expr, unit, mod_locks)
+                        if lock is not None:
+                            note(child_held | frozenset(acquired_here), lock,
+                                 child.lineno)
+                            acquired_here.add(lock)
+                    child_held = held | frozenset(acquired_here)
+                elif isinstance(child, ast.Call) and held:
+                    key = self._resolve_call(child, unit, project)
+                    if key is not None and key in acquired:
+                        for lock in acquired[key]:
+                            note(held, lock, child.lineno)
+                walk(child, child_held)
+
+        walk(unit.node, frozenset(unit.requires))
+
+    # -- cycle detection --------------------------------------------------
+
+    def _cycles(self, graph: _Graph, project: Project) -> Iterable[Finding]:
+        index_counter = [0]
+        stack: list[str] = []
+        on_stack: set[str] = set()
+        index: dict[str, int] = {}
+        low: dict[str, int] = {}
+        sccs: list[list[str]] = []
+
+        def strongconnect(v: str) -> None:
+            index[v] = low[v] = index_counter[0]
+            index_counter[0] += 1
+            stack.append(v)
+            on_stack.add(v)
+            for w in graph.edges.get(v, ()):
+                if w not in index:
+                    strongconnect(w)
+                    low[v] = min(low[v], low[w])
+                elif w in on_stack:
+                    low[v] = min(low[v], index[w])
+            if low[v] == index[v]:
+                scc: list[str] = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    scc.append(w)
+                    if w == v:
+                        break
+                if len(scc) > 1:
+                    sccs.append(scc)
+
+        for node in sorted(graph.nodes):
+            if node not in index:
+                strongconnect(node)
+
+        for scc in sccs:
+            members = sorted(scc)
+            witnesses = []
+            for a in members:
+                for b in graph.edges.get(a, ()):
+                    if b in scc:
+                        path, line = graph.witness[(a, b)]
+                        witnesses.append(f"{a} -> {b} at {path}:{line}")
+            module = project.modules[0]
+            path, line = graph.witness[
+                next(
+                    (a, b)
+                    for a in members
+                    for b in graph.edges.get(a, ())
+                    if b in scc
+                )
+            ]
+            by_path = {m.relpath: m for m in project.modules}
+            module = by_path.get(path, module)
+            yield self.finding(
+                module,
+                line,
+                "lock-order cycle: " + "; ".join(sorted(witnesses)),
+                symbol="cycle:" + "|".join(members),
+            )

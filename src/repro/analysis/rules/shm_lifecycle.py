@@ -1,0 +1,185 @@
+"""shm-lifecycle: shared-memory segments must be releasable.
+
+``SharedMemory(create=True)`` allocates a named POSIX segment that
+outlives the process unless somebody calls ``unlink()`` — PR 7's
+segment leaks were exactly this.  Attach-side handles (``create``
+absent or false, including project subclasses of ``SharedMemory``)
+keep a file descriptor and a mapping alive until ``close()``.
+
+For every direct constructor call the rule demands one of:
+
+* the handle is returned from the enclosing function (ownership
+  transfers to the caller, who is then on the hook),
+* the handle is passed onward as a call argument (ownership transfer),
+* the enclosing function itself reaches ``.unlink()`` (creator) or
+  ``.close()`` (attacher) on the handle, e.g. via ``try/finally``,
+* the handle is stored on ``self`` and *some* method of the class calls
+  the release method on that attribute (a registered owner such as a
+  ``close()``/``__exit__`` method).
+
+The check is name-based and intra-class — it will not follow a handle
+through containers or across modules — but every constructor call site
+must pick one of the four shapes above, which is the point.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.core import Finding, ModuleInfo, Project, Rule, self_attr
+
+_SHM_NAMES = {"SharedMemory"}
+
+
+def _shm_subclasses(project: Project) -> set[str]:
+    """Project classes deriving (directly) from SharedMemory."""
+    names: set[str] = set()
+    for cls in project.iter_classes():
+        for base in cls.node.bases:
+            base_name = base.id if isinstance(base, ast.Name) else (
+                base.attr if isinstance(base, ast.Attribute) else None
+            )
+            if base_name in _SHM_NAMES:
+                names.add(cls.name)
+    return names
+
+
+def _is_shm_call(node: ast.AST, shm_names: set[str]) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    name = func.id if isinstance(func, ast.Name) else (
+        func.attr if isinstance(func, ast.Attribute) else None
+    )
+    return name in shm_names
+
+
+def _is_create(call: ast.Call) -> bool:
+    for kw in call.keywords:
+        if kw.arg == "create":
+            return isinstance(kw.value, ast.Constant) and bool(kw.value.value)
+    return False
+
+
+def _name_released(func: ast.AST, var: str, release: str) -> bool:
+    """Does ``func`` contain ``<var>.<release>()``, ``return <var>``, or
+    pass ``<var>`` as a call argument?"""
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            f = node.func
+            if (
+                isinstance(f, ast.Attribute)
+                and f.attr == release
+                and isinstance(f.value, ast.Name)
+                and f.value.id == var
+            ):
+                return True
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                for sub in ast.walk(arg):
+                    if isinstance(sub, ast.Name) and sub.id == var:
+                        return True
+        elif isinstance(node, ast.Return) and node.value is not None:
+            for sub in ast.walk(node.value):
+                if isinstance(sub, ast.Name) and sub.id == var:
+                    return True
+    return False
+
+
+def _attr_released(cls_node: ast.ClassDef, attr: str, release: str) -> bool:
+    """Does any method of the class call ``self.<attr>.<release>()``?"""
+    for node in ast.walk(cls_node):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            f = node.func
+            if f.attr == release and self_attr(f.value) == attr:
+                return True
+    return False
+
+
+class ShmLifecycleRule(Rule):
+    name = "shm-lifecycle"
+    description = (
+        "SharedMemory(create=True) must be unlink()-reachable; attach-side "
+        "handles must be close()-reachable or transfer ownership"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        shm_names = _SHM_NAMES | _shm_subclasses(project)
+        for module in project.modules:
+            yield from self._check_module(module, shm_names)
+
+    def _check_module(self, module: ModuleInfo, shm_names: set[str]) -> Iterable[Finding]:
+        # Walk every function with its enclosing class (if any) in hand.
+        for func, cls_node in _functions_with_class(module.tree):
+            yield from self._check_function(module, func, cls_node, shm_names)
+
+    def _check_function(
+        self,
+        module: ModuleInfo,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        cls_node: ast.ClassDef | None,
+        shm_names: set[str],
+    ) -> Iterable[Finding]:
+        for node in ast.walk(func):
+            call: ast.Call | None = None
+            target: ast.AST | None = None
+            if isinstance(node, ast.Assign) and _is_shm_call(node.value, shm_names):
+                call = node.value
+                target = node.targets[0] if len(node.targets) == 1 else None
+            elif isinstance(node, ast.Return) and _is_shm_call(node.value, shm_names):
+                continue  # returned directly: ownership transfers to caller
+            elif isinstance(node, ast.Expr) and _is_shm_call(node.value, shm_names):
+                call = node.value
+                target = None
+            else:
+                continue
+            create = _is_create(call)
+            release = "unlink" if create else "close"
+            kind = "created" if create else "attached"
+            where = f"{cls_node.name}.{func.name}" if cls_node else func.name
+            if target is None:
+                yield self.finding(
+                    module,
+                    call.lineno,
+                    f"SharedMemory {kind} in {where}() but the handle is "
+                    f"dropped — no {release}() is reachable",
+                    symbol=f"{where}:shm#{call.lineno - func.lineno}",
+                )
+                continue
+            attr = self_attr(target)
+            if attr is not None:
+                if cls_node is None or not _attr_released(cls_node, attr, release):
+                    yield self.finding(
+                        module,
+                        call.lineno,
+                        f"SharedMemory {kind} into self.{attr} in {where}() "
+                        f"but no method of {cls_node.name if cls_node else '?'} "
+                        f"calls self.{attr}.{release}()",
+                        symbol=f"{where}:{attr}",
+                    )
+            elif isinstance(target, ast.Name):
+                if not _name_released(func, target.id, release):
+                    yield self.finding(
+                        module,
+                        call.lineno,
+                        f"SharedMemory {kind} as '{target.id}' in {where}() but "
+                        f"never {release}()d, returned, or handed off",
+                        symbol=f"{where}:{target.id}",
+                    )
+            # Tuple targets etc.: too dynamic to judge, stay silent.
+
+
+def _functions_with_class(
+    tree: ast.Module,
+) -> Iterable[tuple[ast.FunctionDef | ast.AsyncFunctionDef, ast.ClassDef | None]]:
+    def visit(node: ast.AST, cls: ast.ClassDef | None):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                yield from visit(child, child)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield child, cls
+                yield from visit(child, cls)
+            else:
+                yield from visit(child, cls)
+
+    yield from visit(tree, None)

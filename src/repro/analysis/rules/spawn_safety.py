@@ -1,0 +1,179 @@
+"""spawn-safety: worker-spawn payloads must stay picklable and inert.
+
+Shard workers start via the ``spawn`` method: everything handed to
+``_shard_worker_main`` is pickled in the parent and rebuilt in the
+child.  A payload that transitively captures a lock, a thread handle, a
+ring buffer, or a lambda either fails to pickle (locks, lambdas) or —
+worse — silently clones mutable runtime state into the child (deques,
+telemetry rings).  ``ObsConfig`` exists precisely because the live
+``Observability`` bundle may not cross the boundary.
+
+Classes marked ``#: spawn_payload`` on their ``class`` line are roots.
+The rule scans each root and every project class reachable through its
+field annotations for hazards:
+
+* constructing ``threading.Lock/RLock/Condition/Event/Semaphore``,
+  ``Thread``, ``ThreadPoolExecutor``, or ``deque`` anywhere in the
+  class body (including dataclass ``default_factory``),
+* ``lambda`` stored in a field default,
+* field annotations naming hazard types directly (``Lock``, ``Thread``,
+  ``Callable``, ``Future``, ``deque``, ...).
+
+Resolution is by simple class name via the project class table, so a
+hazard two hops away (payload -> part -> polygon-with-a-lock) is still
+reported, with the reference chain in the message.
+"""
+
+from __future__ import annotations
+
+import ast
+import contextlib
+from collections.abc import Iterable
+
+from repro.analysis.core import ClassInfo, Finding, Project, Rule
+
+_HAZARD_CONSTRUCTORS = {
+    "Lock": "a lock",
+    "RLock": "a reentrant lock",
+    "Condition": "a condition variable",
+    "Event": "a thread event",
+    "Semaphore": "a semaphore",
+    "BoundedSemaphore": "a semaphore",
+    "Thread": "a thread handle",
+    "ThreadPoolExecutor": "a thread pool",
+    "deque": "a ring buffer (deque)",
+}
+
+_HAZARD_ANNOTATIONS = {
+    "Lock": "a lock",
+    "RLock": "a reentrant lock",
+    "Condition": "a condition variable",
+    "Thread": "a thread handle",
+    "Future": "a future",
+    "Callable": "a callable",
+    "deque": "a ring buffer (deque)",
+}
+
+
+def _called_name(call: ast.Call) -> str | None:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _value_hazards(value: ast.AST) -> Iterable[tuple[int, str]]:
+    """Hazards in a *stored* value expression (what the instance keeps)."""
+    for node in ast.walk(value):
+        if isinstance(node, ast.Call):
+            name = _called_name(node)
+            if name in _HAZARD_CONSTRUCTORS:
+                yield node.lineno, f"creates {_HAZARD_CONSTRUCTORS[name]}"
+        elif isinstance(node, ast.Lambda):
+            yield node.lineno, "captures a lambda"
+
+
+def _class_hazards(cls: ClassInfo) -> list[tuple[int, str]]:
+    """Hazards the class *stores*: ``self.x = <hazard>`` in any method,
+    or a class-level field default (including ``field(default_factory=...)``).
+
+    Hazards used transiently inside a method body (a sort-key lambda, a
+    scratch deque) do not travel with a pickled instance and are ignored.
+    """
+    hazards: list[tuple[int, str]] = []
+    for stmt in cls.node.body:
+        if isinstance(stmt, ast.Assign):
+            hazards.extend(_value_hazards(stmt.value))
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            hazards.extend(_value_hazards(stmt.value))
+    for node in ast.walk(cls.node):
+        if isinstance(node, ast.Assign):
+            stored = any(
+                isinstance(t, ast.Attribute)
+                and isinstance(t.value, ast.Name)
+                and t.value.id == "self"
+                for t in node.targets
+            )
+            if stored:
+                hazards.extend(_value_hazards(node.value))
+    return hazards
+
+
+def _annotation_names(node: ast.AST) -> Iterable[str]:
+    """Every identifier appearing in a field annotation expression."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            yield sub.id
+        elif isinstance(sub, ast.Attribute):
+            yield sub.attr
+        elif isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            # `from __future__ import annotations` often leaves string
+            # annotations; a best-effort re-parse keeps them visible.
+            with contextlib.suppress(SyntaxError):
+                yield from _annotation_names(ast.parse(sub.value, mode="eval").body)
+
+
+def _field_types(cls: ClassInfo) -> list[tuple[int, str]]:
+    """(line, identifier) for every name referenced by a field annotation."""
+    refs: list[tuple[int, str]] = []
+    for stmt in cls.node.body:
+        if isinstance(stmt, ast.AnnAssign) and stmt.annotation is not None:
+            for name in _annotation_names(stmt.annotation):
+                refs.append((stmt.lineno, name))
+    for method in cls.methods.values():
+        for stmt in ast.walk(method):
+            if isinstance(stmt, ast.AnnAssign) and stmt.annotation is not None:
+                for name in _annotation_names(stmt.annotation):
+                    refs.append((stmt.lineno, name))
+    return refs
+
+
+class SpawnSafetyRule(Rule):
+    name = "spawn-safety"
+    description = (
+        "classes marked '#: spawn_payload' must not transitively capture "
+        "locks, threads, ring buffers, or lambdas"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        roots: list[ClassInfo] = []
+        for cls in project.iter_classes():
+            if cls.module.annotations_for_line(cls.node.lineno, "spawn_payload"):
+                roots.append(cls)
+        for root in roots:
+            yield from self._check_root(root, project)
+
+    def _check_root(self, root: ClassInfo, project: Project) -> Iterable[Finding]:
+        # BFS through field-annotation types, reporting the chain that
+        # reaches each hazard.
+        queue: list[tuple[ClassInfo, tuple[str, ...]]] = [(root, (root.name,))]
+        visited: set[str] = {root.name}
+        while queue:
+            cls, chain = queue.pop(0)
+            for line, description in _class_hazards(cls):
+                yield self.finding(
+                    root.module,
+                    root.node.lineno if cls is not root else line,
+                    f"spawn payload {root.name} {description} via "
+                    f"{' -> '.join(chain)} (line {line} of {cls.module.relpath})",
+                    symbol=f"{root.name}:{'.'.join(chain)}:{description}",
+                )
+            for line, name in _field_types(cls):
+                if name in _HAZARD_ANNOTATIONS:
+                    yield self.finding(
+                        root.module,
+                        root.node.lineno if cls is not root else line,
+                        f"spawn payload {root.name} holds {_HAZARD_ANNOTATIONS[name]} "
+                        f"via {' -> '.join(chain)} field annotation "
+                        f"(line {line} of {cls.module.relpath})",
+                        symbol=f"{root.name}:{'.'.join(chain)}:{name}",
+                    )
+                    continue
+                if name in visited:
+                    continue
+                nested = project.class_named(name)
+                if nested is not None:
+                    visited.add(name)
+                    queue.append((nested, chain + (name,)))

@@ -12,7 +12,7 @@ quality and node size*, which is what separates PG from RT in the paper.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

@@ -34,7 +34,7 @@ rarer deeper overlaps spill into dictionaries.
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

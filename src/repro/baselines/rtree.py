@@ -16,7 +16,7 @@ the expensive path the paper's true hit filtering avoids.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

@@ -24,7 +24,7 @@ vectorized like every other competitor.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

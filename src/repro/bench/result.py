@@ -5,7 +5,7 @@ from __future__ import annotations
 import csv
 import io
 from dataclasses import dataclass, field
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.util.tables import format_table
 

@@ -10,7 +10,7 @@ and cell stores per (dataset, precision, store kind).
 from __future__ import annotations
 
 import copy
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 

@@ -20,7 +20,7 @@ numpy conversions in :mod:`repro.cells.vectorized`.
 
 from __future__ import annotations
 
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro.cells import hilbert
 from repro.cells.latlng import LatLng

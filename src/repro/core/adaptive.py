@@ -37,7 +37,7 @@ import math
 import threading
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 
@@ -149,10 +149,12 @@ class LayerTelemetry:
     def __init__(self, policy: AdaptationPolicy):
         self._policy = policy
         self._lock = threading.Lock()
+        #: guarded_by(_lock)
         self._window: deque[tuple[int, int]] = deque()  # (points, refined)
-        self._window_total = 0
-        self._window_refined = 0
-        self._hot: dict[int, int] = {}  # leaf key -> refined points
+        self._window_total = 0  #: guarded_by(_lock)
+        self._window_refined = 0  #: guarded_by(_lock)
+        self._hot: dict[int, int] = {}  # hot leaves #: guarded_by(_lock)
+        #: guarded_by(_lock)
         self._points_since_retrain = policy.cooldown_points  # no initial cooldown
 
     def record(
@@ -300,16 +302,18 @@ class AdaptiveController:
         else:
             self._retrain_counters = None
         self._lock = threading.Lock()
-        self._telemetry: dict[str, LayerTelemetry] = {}
-        self._retraining: dict[str, bool] = {}
-        self._workers: dict[str, threading.Thread] = {}
-        self._started: dict[str, int] = {}
-        self._completed: dict[str, int] = {}
-        self._failed: dict[str, int] = {}
-        self._last_version: dict[str, int] = {}
-        self._last_training_ids: dict[str, np.ndarray] = {}
-        self._baseline_cells: dict[str, int] = {}
-        self._last_error: Exception | None = None
+        # Inserted under the lock, never removed: after_dispatch reads the
+        # per-layer telemetry lock-free on the hot path (writes-only mode).
+        self._telemetry: dict[str, LayerTelemetry] = {}  #: guarded_by(_lock, writes)
+        self._retraining: dict[str, bool] = {}  #: guarded_by(_lock)
+        self._workers: dict[str, threading.Thread] = {}  #: guarded_by(_lock)
+        self._started: dict[str, int] = {}  #: guarded_by(_lock)
+        self._completed: dict[str, int] = {}  #: guarded_by(_lock)
+        self._failed: dict[str, int] = {}  #: guarded_by(_lock)
+        self._last_version: dict[str, int] = {}  #: guarded_by(_lock)
+        self._last_training_ids: dict[str, np.ndarray] = {}  #: guarded_by(_lock)
+        self._baseline_cells: dict[str, int] = {}  #: guarded_by(_lock)
+        self._last_error: Exception | None = None  #: guarded_by(_lock, writes)
 
     # ------------------------------------------------------------------
     # Service-facing wiring

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
@@ -192,12 +192,23 @@ class DynamicIndexState:
 
 @dataclass(frozen=True)
 class _CompactionInput:
-    """Consistent state captured under the lock for one compaction run."""
+    """Consistent state captured under the lock for one compaction run.
+
+    The training configuration rides along because the build runs
+    *outside* the lock: reading ``self._training_*`` from the worker
+    would race a concurrent :meth:`DynamicPolygonIndex.retrain`
+    installing a new configuration mid-build (seeing, say, new ids with
+    the old cell budget).  Capturing it here makes every build use one
+    consistent configuration — whichever was current at capture time.
+    """
 
     polygons: tuple[Polygon | None, ...]
     tombstones: frozenset[int]
     ops_consumed: int
     epoch: int  # base generation at capture; installs on a newer one abort
+    training_cell_ids: np.ndarray | None
+    training_max_cells: int | None
+    training_order: str
 
 
 class DynamicPolygonIndex:
@@ -256,9 +267,9 @@ class DynamicPolygonIndex:
         self._flat_snapshots = flat_snapshots
         self._covering_options = covering_options
         self._interior_options = interior_options
-        self._training_cell_ids = training_cell_ids
-        self._training_max_cells = training_max_cells
-        self._training_order = "arrival"
+        self._training_cell_ids = training_cell_ids  #: guarded_by(_lock)
+        self._training_max_cells = training_max_cells  #: guarded_by(_lock)
+        self._training_order = "arrival"  #: guarded_by(_lock)
         self._store_factory = store_factory
         # Optional telemetry plane: one "compaction" event per installed
         # snapshot, and a monotone compaction counter in the registry.
@@ -276,12 +287,13 @@ class DynamicPolygonIndex:
             from repro.core.flat import as_flat_index
 
             base = as_flat_index(base, version=base.version)
-        self._compactor: threading.Thread | None = None
+        self._compactor: threading.Thread | None = None  #: guarded_by(_lock, writes)
+        #: guarded_by(_lock)
         self._compaction_active = False  # owned by _lock, unlike is_alive()
-        self._compaction_error: Exception | None = None
-        self._compactions = 0
-        self._epoch = 0
-        self._version = base.version
+        self._compaction_error: Exception | None = None  #: guarded_by(_lock)
+        self._compactions = 0  #: guarded_by(_lock, writes)
+        self._epoch = 0  #: guarded_by(_lock)
+        self._version = base.version  #: guarded_by(_lock, writes)
         self._install_base(base, ops_consumed=0, bump_version=False)
 
     # ------------------------------------------------------------------
@@ -428,13 +440,14 @@ class DynamicPolygonIndex:
 
     def is_live(self, polygon_id: int) -> bool:
         """Whether ``polygon_id`` currently participates in joins."""
-        return (
-            0 <= polygon_id < len(self._polygons)
-            and self._polygons[polygon_id] is not None
-            and polygon_id not in self._tombstones
-        )
+        with self._lock:
+            return (
+                0 <= polygon_id < len(self._polygons)
+                and self._polygons[polygon_id] is not None
+                and polygon_id not in self._tombstones
+            )
 
-    def _apply_op(self, op: DeltaOp) -> None:
+    def _apply_op(self, op: DeltaOp) -> None:  #: requires(_lock)
         """Apply one mutation to the delta state and log it (lock held)."""
         if op.kind == "insert":
             self._apply_insert(op.polygon_id, op.polygon)
@@ -444,7 +457,7 @@ class DynamicPolygonIndex:
             raise ValueError(f"unknown delta op kind {op.kind!r}")
         self._pending.append(op)
 
-    def _apply_insert(self, pid: int, polygon: Polygon) -> None:
+    def _apply_insert(self, pid: int, polygon: Polygon) -> None:  #: requires(_lock)
         if pid != len(self._polygons):
             raise ValueError(
                 f"insert out of order: id {pid}, expected {len(self._polygons)}"
@@ -483,14 +496,19 @@ class DynamicPolygonIndex:
     def _maybe_compact(self) -> None:
         if self._compact_threshold is None:
             return
-        if len(self._pending) < self._compact_threshold:
+        with self._lock:
+            backlog = len(self._pending)
+        if backlog < self._compact_threshold:
             return
         if self._background:
             self._start_background_compaction()
         else:
             # Loop: ops other threads land during the build are replayed as
             # pending by the install and may reach the threshold again.
-            while len(self._pending) >= self._compact_threshold:
+            while True:
+                with self._lock:
+                    if len(self._pending) < self._compact_threshold:
+                        return
                 self.compact()
 
     def compact(self) -> PolygonIndex:
@@ -590,23 +608,27 @@ class DynamicPolygonIndex:
         except Exception as exc:  # surfaced via wait_for_compaction()
             with self._lock:
                 self._compaction_active = False
-            self._compaction_error = exc
+                self._compaction_error = exc
 
     def wait_for_compaction(self, timeout: float | None = None) -> None:
         """Block until any in-flight background compaction finishes."""
         thread = self._compactor
         if thread is not None:
             thread.join(timeout)
-        if self._compaction_error is not None:
+        with self._lock:
             error, self._compaction_error = self._compaction_error, None
+        if error is not None:
             raise error
 
-    def _capture(self) -> _CompactionInput:
+    def _capture(self) -> _CompactionInput:  #: requires(_lock)
         return _CompactionInput(
             polygons=tuple(self._polygons),
             tombstones=frozenset(self._tombstones),
             ops_consumed=len(self._pending),
             epoch=self._epoch,
+            training_cell_ids=self._training_cell_ids,
+            training_max_cells=self._training_max_cells,
+            training_order=self._training_order,
         )
 
     def _build_snapshot(self, captured: _CompactionInput) -> PolygonIndex:
@@ -626,9 +648,9 @@ class DynamicPolygonIndex:
             precision_meters=self.precision_meters,
             covering_options=self._covering_options,
             interior_options=self._interior_options,
-            training_cell_ids=self._training_cell_ids,
-            training_max_cells=self._training_max_cells,
-            training_order=self._training_order,
+            training_cell_ids=captured.training_cell_ids,
+            training_max_cells=captured.training_max_cells,
+            training_order=captured.training_order,
             fanout_bits=self._fanout_bits,
             store_factory=self._store_factory,
         )
@@ -667,15 +689,15 @@ class DynamicPolygonIndex:
             if expected_epoch is not None and expected_epoch != self._epoch:
                 return False
             remaining = getattr(self, "_pending", [])[ops_consumed:]
-            self._base = base
+            self._base = base  #: guarded_by(_lock, writes)
             self.precision_meters = base.precision_meters
-            self._polygons: list[Polygon | None] = list(base.polygons)
-            self._tombstones: set[int] = set()
-            self._delta_covering = SuperCovering()
-            self._delta_store: object | None = None
-            self._delta_table: LookupTable | None = None
-            self._delta_ids: set[int] = set()
-            self._pending: list[DeltaOp] = []
+            self._polygons: list[Polygon | None] = list(base.polygons)  #: guarded_by(_lock)
+            self._tombstones: set[int] = set()  #: guarded_by(_lock)
+            self._delta_covering = SuperCovering()  #: guarded_by(_lock)
+            self._delta_store: object | None = None  #: guarded_by(_lock)
+            self._delta_table: LookupTable | None = None  #: guarded_by(_lock)
+            self._delta_ids: set[int] = set()  #: guarded_by(_lock)
+            self._pending: list[DeltaOp] = []  #: guarded_by(_lock)
             for op in remaining:
                 self._apply_op(op)
             self._epoch += 1
@@ -700,7 +722,7 @@ class DynamicPolygonIndex:
     # Probe views
     # ------------------------------------------------------------------
 
-    def _refresh_view(self) -> None:
+    def _refresh_view(self) -> None:  #: requires(_lock)
         """Publish a fresh immutable probe view (lock held)."""
         if not self._delta_ids and not self._tombstones:
             store: object = self._base.store
@@ -732,6 +754,7 @@ class DynamicPolygonIndex:
             refiner = RefinementEngine(
                 tuple(self._polygons), build_table=False
             )
+        #: guarded_by(_lock, writes)
         self._view = ProbeView(
             version=self._version,
             store=store,
@@ -823,7 +846,8 @@ class DynamicPolygonIndex:
     @property
     def delta_size(self) -> int:
         """Number of pending delta operations (inserts + deletes)."""
-        return len(self._pending)
+        with self._lock:
+            return len(self._pending)
 
     @property
     def compactions(self) -> int:
@@ -846,7 +870,8 @@ class DynamicPolygonIndex:
 
     @property
     def num_cells(self) -> int:
-        return self._base.num_cells + self._delta_covering.num_cells
+        with self._lock:
+            return self._base.num_cells + self._delta_covering.num_cells
 
     @property
     def size_bytes(self) -> int:

@@ -46,7 +46,7 @@ import json
 import pathlib
 import struct
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 
@@ -79,9 +79,78 @@ FLAT_FORMAT_VERSION = 1
 #: and buffers cache-line aligned.
 _ALIGN = 64
 
+#: The flat container's buffer contract: every buffer a packed snapshot
+#: may carry, with its wire dtype (little-endian numpy dtype strings, as
+#: written into the RFLAT header table).  ``repro.analysis``'s
+#: flat-contract rule checks packing sites against this table, and
+#: :func:`validate_buffers` enforces it at runtime — a dtype drift here
+#: silently corrupts every attached reader, so it must never happen by
+#: accident.
+FLAT_BUFFER_SPEC: dict[str, str] = {
+    "act_pool": "<u8",
+    "act_faces": "<u8",
+    "act_face_values": "<u8",
+    "lut": "<u4",
+    "cell_ids": "<u8",
+    "ref_offsets": "<i8",
+    "packed_refs": "<u4",
+    "poly_ring_index": "<i8",
+    "ring_vertex_index": "<i8",
+    "ring_lngs": "<f8",
+    "ring_lats": "<f8",
+    "ref_row_offset": "<i8",
+    "ref_num_buckets": "<i8",
+    "ref_lat_origin": "<f8",
+    "ref_inv_bucket_height": "<f8",
+    "ref_mbr_lng_lo": "<f8",
+    "ref_mbr_lng_hi": "<f8",
+    "ref_mbr_lat_lo": "<f8",
+    "ref_mbr_lat_hi": "<f8",
+    "ref_edge_start": "<i8",
+    "ref_y0": "<f8",
+    "ref_y1": "<f8",
+    "ref_x0": "<f8",
+    "ref_dx": "<f8",
+    "ref_inv_dy": "<f8",
+    # Extension buffers appended by repro.core.serialize for dynamic
+    # indexes: the pending delta log (ring-packed geometry) plus the
+    # persisted training configuration.
+    "delta_kinds": "|i1",
+    "delta_pids": "<i8",
+    "delta_ring_index": "<i8",
+    "delta_vertex_index": "<i8",
+    "delta_lngs": "<f8",
+    "delta_lats": "<f8",
+    "training_cell_ids": "<u8",
+}
+
 
 def _align(offset: int) -> int:
     return (offset + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+def validate_buffers(buffers: Mapping[str, np.ndarray]) -> None:
+    """Check a packed buffer dict against :data:`FLAT_BUFFER_SPEC`.
+
+    Raises ``ValueError`` on an unknown buffer name or a dtype that does
+    not match the contract (after the little-endian normalization that
+    ``to_bytes`` performs anyway via ``ascontiguousarray``).
+    """
+    problems: list[str] = []
+    for name, array in buffers.items():
+        expected = FLAT_BUFFER_SPEC.get(name)
+        if expected is None:
+            problems.append(f"unknown buffer {name!r}")
+            continue
+        actual = np.asarray(array).dtype
+        if actual != np.dtype(expected):
+            problems.append(
+                f"buffer {name!r}: dtype {actual.str} != spec {expected}"
+            )
+    if problems:
+        raise ValueError(
+            "flat buffer contract violation: " + "; ".join(problems)
+        )
 
 
 # ----------------------------------------------------------------------
@@ -573,6 +642,7 @@ def pack_index(index: PolygonIndex) -> FlatSnapshot:
         "ring_lats": ring_lats,
         **_pack_refiner_table(refiner._flat_table()),
     }
+    validate_buffers(buffers)
     meta = {
         "flat_format": FLAT_FORMAT_VERSION,
         "fanout_bits": int(store.fanout_bits),

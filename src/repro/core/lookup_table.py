@@ -21,7 +21,7 @@ Cells frequently share reference sets, so identical sets are stored once.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

@@ -13,7 +13,8 @@ in the least significant bit).
 
 from __future__ import annotations
 
-from typing import Iterable, NamedTuple
+from collections.abc import Iterable
+from typing import NamedTuple
 
 MAX_POLYGON_ID = (1 << 30) - 1
 

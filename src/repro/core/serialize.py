@@ -54,6 +54,7 @@ from repro.core.flat import (
     pack_polygon_geometry,
     unpack_covering as _unpack_covering,
     unpack_polygon_geometry,
+    validate_buffers,
 )
 from repro.geo.wkt import polygon_from_wkt
 from repro.util.timing import Timer
@@ -160,6 +161,7 @@ def save_index(
     )
     buffers = dict(snapshot.buffers)
     buffers.update(extra)
+    validate_buffers(buffers)
     FlatSnapshot(meta, buffers).save(path)
 
 

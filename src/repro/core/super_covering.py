@@ -28,7 +28,7 @@ Two implementations are provided and tested for equivalence:
 from __future__ import annotations
 
 import bisect
-from typing import Iterable, Iterator, Mapping, Sequence
+from collections.abc import Iterable, Iterator, Mapping, Sequence
 
 from repro.cells.cellid import MAX_LEVEL, CellId
 from repro.core.refs import PolygonRef, merge_refs

@@ -16,7 +16,7 @@ direction vectors are precomputed once and sliced along with subsets, so a
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

@@ -11,7 +11,7 @@ PostGIS ``ST_Covers`` up to boundary cases.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 

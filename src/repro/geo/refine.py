@@ -41,7 +41,7 @@ restored from serialization simply rebuilds its accelerator on first use.
 from __future__ import annotations
 
 import threading
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

@@ -69,7 +69,7 @@ class Counter(_Instrument):
 
     def __init__(self, name: str, *, help: str = "", labels=None):
         super().__init__(name, help=help, labels=labels)
-        self._value = 0
+        self._value = 0  #: guarded_by(_lock)
 
     def inc(self, amount: int | float = 1) -> None:
         if amount < 0:
@@ -93,7 +93,7 @@ class Gauge(_Instrument):
 
     def __init__(self, name: str, *, help: str = "", labels=None):
         super().__init__(name, help=help, labels=labels)
-        self._value = 0.0
+        self._value = 0.0  #: guarded_by(_lock)
 
     def set(self, value: int | float) -> None:
         with self._lock:
@@ -138,9 +138,9 @@ class Histogram(_Instrument):
         ):
             raise ValueError(f"bucket bounds must be finite and increasing: {bounds}")
         self.bounds = bounds
-        self._counts = [0] * (len(bounds) + 1)  # +1 = +Inf overflow
-        self._sum = 0.0
-        self._count = 0
+        self._counts = [0] * (len(bounds) + 1)  # +Inf overflow #: guarded_by(_lock)
+        self._sum = 0.0  #: guarded_by(_lock)
+        self._count = 0  #: guarded_by(_lock)
 
     def observe(self, value: int | float) -> None:
         index = bisect.bisect_left(self.bounds, value)
@@ -211,7 +211,7 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._metrics: dict[tuple, _Instrument] = {}
+        self._metrics: dict[tuple, _Instrument] = {}  #: guarded_by(_lock)
 
     def _get_or_create(self, cls, name, help, labels, **kwargs):
         key = (name, tuple(sorted((labels or {}).items())))

@@ -60,11 +60,11 @@ class HotCellCache:
         if capacity < 0:
             raise ValueError(f"capacity must be >= 0, got {capacity}")
         self.capacity = capacity
-        self._entries: OrderedDict[int, int] = OrderedDict()
+        self._entries: OrderedDict[int, int] = OrderedDict()  #: guarded_by(_lock)
         self._lock = threading.Lock()
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
+        self._hits = 0  #: guarded_by(_lock)
+        self._misses = 0  #: guarded_by(_lock)
+        self._evictions = 0  #: guarded_by(_lock)
 
     def get(self, cell_id: int, weight: int = 1) -> int | None:
         """Cached entry for a cell, or ``None``; counts ``weight`` probes."""
@@ -125,7 +125,8 @@ class HotCellCache:
                 self._evictions += 1
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, cell_id: int) -> bool:
         with self._lock:

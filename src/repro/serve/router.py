@@ -24,7 +24,8 @@ concurrent ``add_layer`` during a ``join_layers`` fan-out can never raise
 from __future__ import annotations
 
 import threading
-from typing import Iterable, Mapping, Protocol, Sequence, runtime_checkable
+from collections.abc import Iterable, Mapping, Sequence
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
@@ -78,7 +79,7 @@ class LayerRouter:
         # Published registry snapshot.  NEVER mutated in place: writers
         # replace it wholesale under self._lock (copy-on-write), readers
         # load it once per operation and work on that immutable snapshot.
-        self._layers: dict[str, JoinableIndex] = {}
+        self._layers: dict[str, JoinableIndex] = {}  #: guarded_by(_lock, writes)
         for name, index in (layers or {}).items():
             self.add(name, index)
         if default is not None and default not in self._layers:

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import Future
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 

@@ -50,12 +50,13 @@ front-side dispatches.
 
 from __future__ import annotations
 
+import contextlib
 import threading
 import traceback
 from dataclasses import dataclass
 from multiprocessing import get_context
 from multiprocessing.shared_memory import SharedMemory
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 
@@ -196,7 +197,7 @@ class ShardPlan:
 
 
 @dataclass
-class _ShardPart:
+class _ShardPart:  #: spawn_payload
     """One layer's partition, as shipped to (or built for) one shard."""
 
     num_polygons: int  # global polygon-table length (id space)
@@ -208,7 +209,7 @@ class _ShardPart:
 
 
 @dataclass(frozen=True)
-class _FlatShardPart:
+class _FlatShardPart:  #: spawn_payload
     """One layer's partition as a published flat snapshot (attach-only).
 
     The front packed the partition sub-index into a shared-memory
@@ -223,7 +224,7 @@ class _FlatShardPart:
 
 
 @dataclass
-class _WorkerPayload:
+class _WorkerPayload:  #: spawn_payload
     """Everything one shard worker needs to build its JoinService."""
 
     shard: int
@@ -360,10 +361,8 @@ class _AttachedSegment(SharedMemory):
     """
 
     def __del__(self):
-        try:
+        with contextlib.suppress(BufferError):
             super().__del__()
-        except BufferError:
-            pass
 
 
 def _attach_shm(name: str) -> SharedMemory:
@@ -522,10 +521,8 @@ class _ShmBatch:
 
     def close(self) -> None:
         self._shm.close()
-        try:
+        with contextlib.suppress(FileNotFoundError):  # pragma: no cover - double close
             self._shm.unlink()
-        except FileNotFoundError:  # pragma: no cover - double close
-            pass
 
 
 class _ArrayBatch:
@@ -595,11 +592,9 @@ class _ProcessShard:
         return self.finish()
 
     def close(self) -> None:
-        try:
+        with contextlib.suppress(BrokenPipeError, EOFError, OSError):
             self._conn.send(("close",))
             self._conn.recv()
-        except (BrokenPipeError, EOFError, OSError):
-            pass
         self._conn.close()
         self._process.join(timeout=10)
         if self._process.is_alive():  # pragma: no cover - hung worker
@@ -828,20 +823,20 @@ class ShardedJoinService:
         # snapshot reads, default-layer resolution, duplicate/rollback
         # validation — one implementation shared with JoinService.
         self._router = LayerRouter(layers, default=default_layer)
-        self._plans: dict[str, ShardPlan] = {
+        self._plans: dict[str, ShardPlan] = {  #: guarded_by(_lock)
             name: ShardPlan.from_index(index, num_shards)
             for name, index in layers.items()
         }
         # Flat-snapshot segments owned by the front, per layer, for the
         # CURRENT generation; retired (and unlinked) on swap and close.
-        self._segments: dict[str, tuple[SharedMemory, ...]] = {}
+        self._segments: dict[str, tuple[SharedMemory, ...]] = {}  #: guarded_by(_lock)
         # One lock serializes scatter/gather dispatches and admin fan-outs:
         # worker pipes are request/response channels and must never see
         # interleaved conversations.
         self._lock = threading.Lock()
-        self._closed = False
-        self._poisoned = False
-        self._clients: list[_ProcessShard | _InlineShard] = []
+        self._closed = False  #: guarded_by(_lock, writes)
+        self._poisoned = False  #: guarded_by(_lock, writes)
+        self._clients: list[_ProcessShard | _InlineShard] = []  #: guarded_by(_lock)
         self._spawn_seconds: tuple[float, ...] = ()
         try:
             parts_by_layer: dict[str, list] = {}
@@ -928,8 +923,9 @@ class ShardedJoinService:
 
     def plan(self, layer: str | None = None) -> ShardPlan:
         """The live shard plan of one layer."""
-        name, _ = self._router.resolve(layer)
-        return self._plans[name]
+        with self._lock:
+            name, _ = self._router.resolve(layer)
+            return self._plans[name]
 
     @property
     def spawn_seconds(self) -> tuple[float, ...]:
@@ -978,12 +974,11 @@ class ShardedJoinService:
         """Unlink (and drop) every segment of the given generations."""
         for generation in segments.values():
             for segment in generation:
-                try:
+                with contextlib.suppress(FileNotFoundError):  # pragma: no cover - already gone
                     segment.close()
                     segment.unlink()
-                except FileNotFoundError:  # pragma: no cover - already gone
-                    pass
 
+    #: requires(_lock)
     def _set_snapshot_gauges(self, build_seconds: Sequence[float]) -> None:
         if self._snapshot_bytes_gauge is not None:
             self._snapshot_bytes_gauge.set(
@@ -1316,7 +1311,7 @@ class ShardedJoinService:
                 shards=self.num_shards,
             )
 
-    def _admin_fan_out(self, messages: list[tuple]) -> list:
+    def _admin_fan_out(self, messages: list[tuple]) -> list:  #: requires(_lock)
         """Scatter one admin message per shard; gather before returning.
 
         All-or-nothing is required for layer management: if SOME shards
@@ -1432,9 +1427,14 @@ class ShardedJoinService:
         workers are down, so no attach can race the unlink (and even if
         one did, an attached mapping survives its unlink on POSIX).
         """
-        if self._closed:
-            return
-        self._closed = True
+        with self._lock:
+            if self._closed:
+                return
+            # Flip under the lock: two racing close() calls could both
+            # pass an unlocked check and double-release every segment.
+            self._closed = True
+        # Drain OUTSIDE the lock: the batcher's flush path dispatches
+        # through _scatter_join, which takes this same lock.
         self._batcher.close()
         with self._lock:
             for client in self._clients:

@@ -6,7 +6,7 @@ module renders them without any third-party dependency.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 
 def _cell_text(value: object) -> str:

@@ -2,10 +2,25 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.geo.polygon import Polygon, regular_polygon
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    # Opt-in runtime lock-order sanitizer: REPRO_SANITIZE=1 patches the
+    # threading lock factories so every repro-created lock records its
+    # acquisition ordering, and an inversion (or a non-reentrant
+    # re-acquire) raises LockOrderError at the offending `acquire`.
+    # Installed here rather than at module import so the patch lands
+    # before test modules import repro.serve/* and create their locks.
+    if os.environ.get("REPRO_SANITIZE") == "1":
+        from repro.analysis.sanitizer import install
+
+        install()
 
 
 @pytest.fixture(scope="session")

@@ -293,6 +293,34 @@ class TestCompaction:
         assert dyn.compactions >= 1
         _assert_matches_fresh_build(dyn, exact=True)
 
+    def test_build_snapshot_uses_captured_training_config(self):
+        # Regression: _build_snapshot used to read the LIVE training
+        # config, so a retrain() landing between capture and build leaked
+        # the new configuration into a snapshot of the old epoch.  The
+        # capture must carry the training triple it saw under the lock.
+        dyn = DynamicPolygonIndex.build(POOL[:3], compact_threshold=None)
+        with dyn._lock:
+            captured = dyn._capture()
+        assert captured.training_cell_ids is None
+        with dyn._lock:  # a concurrent retrain() installs a new config
+            dyn._training_cell_ids = dyn.cell_ids_for(LATS[:50], LNGS[:50])
+            dyn._training_max_cells = 8
+            dyn._training_order = "hot"
+        snapshot = dyn._build_snapshot(captured)
+        assert snapshot.training_report is None  # captured config, not live
+
+    def test_wait_for_compaction_consumes_error_once(self):
+        # Regression: the compaction error used to be published outside
+        # the lock and cleared non-atomically; the swap must hand the
+        # error to exactly one waiter.
+        dyn = DynamicPolygonIndex.build(POOL[:2], compact_threshold=None)
+        boom = RuntimeError("boom")
+        with dyn._lock:
+            dyn._compaction_error = boom
+        with pytest.raises(RuntimeError, match="boom"):
+            dyn.wait_for_compaction()
+        dyn.wait_for_compaction()  # error already consumed: no raise
+
     def test_restore_replays_log_and_respects_threshold(self):
         dyn = DynamicPolygonIndex.build(POOL[:2], compact_threshold=None)
         dyn.insert(POOL[2])
