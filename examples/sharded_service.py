@@ -2,12 +2,15 @@
 """Share-nothing sharded serving: one process per spatial partition.
 
 Builds the neighborhoods layer once, plans a 4-way Hilbert cell-id range
-partition of its covering (balanced on covering-cell counts), and serves
-a probe-heavy skewed stream from a ``ShardedJoinService``: every batch is
-scattered through shared memory to the shard processes that own its
-points and the partial results are merged bit-identically.  A swap then
-retrains the layer on observed traffic and fans the new snapshot out to
-every shard with zero downtime.
+partition of its covering (cut points balanced on owned work, so a
+straddler counts toward exactly one shard's share), and serves a
+probe-heavy skewed stream from a ``ShardedJoinService``: the layer's
+geometry plane is published once in a single shared-memory segment,
+each worker attaches it read-only next to its private coverage plane,
+every batch is scattered through shared memory to the shard processes
+that own its points, and the partial results are merged bit-identically.
+A swap then retrains the layer on observed traffic and fans the new
+snapshot out to every shard with zero downtime.
 
 Run:  python examples/sharded_service.py
 """
@@ -31,17 +34,24 @@ def main() -> None:
           f"{index.num_polygons} polygons, {index.num_cells:,} cells")
 
     plan = ShardPlan.from_index(index, NUM_SHARDS)
-    print(f"\nshard plan ({NUM_SHARDS} Hilbert cell-id ranges):")
+    print(f"\nshard plan ({NUM_SHARDS} Hilbert cell-id ranges, "
+          f"replication factor {plan.replication_factor:.2f}):")
     for shard in range(NUM_SHARDS):
-        print(f"  shard {shard}: {plan.cell_weights[shard]:,} covering-cell "
-              f"entries, {len(plan.members[shard])} polygons (replicated "
-              "where coverings straddle the cut)")
+        print(f"  shard {shard}: {plan.owned_weights[shard]:,} owned + "
+              f"{plan.borrowed_weights[shard]:,} borrowed entries, "
+              f"{len(plan.owned[shard])} polygons homed here, "
+              f"{len(plan.borrowed[shard])} borrowed straddlers")
 
     lats, lngs = shard_probe_points(200_000)
     reference = index.join(lats, lngs, exact=True)
 
     print(f"\nspawning {NUM_SHARDS} shard workers...")
     with ShardedJoinService(index, num_shards=NUM_SHARDS) as service:
+        geometry_bytes, coverage_bytes = service.plane_bytes()
+        print(f"  two-layer publication: {geometry_bytes / 1024:,.0f} KiB "
+              f"geometry shared once, {coverage_bytes / 1024:,.0f} KiB "
+              f"per-shard coverage planes (replication factor "
+              f"{service.replication_factor():.2f})")
         start = time.perf_counter()
         for lo in range(0, len(lats), 32_768):
             service.join(lats[lo:lo + 32_768], lngs[lo:lo + 32_768], exact=True)
@@ -69,8 +79,8 @@ def main() -> None:
               f"{stats.cache_hit_rate:.1%}")
         for shard in stats.shards:
             print(f"  shard {shard.shard}: {shard.stats.points:,} points, "
-                  f"{shard.num_polygons} polygons, p50 "
-                  f"{shard.stats.p50_ms:.1f} ms")
+                  f"{shard.num_owned} owned + {shard.num_borrowed} borrowed "
+                  f"polygons, p50 {shard.stats.p50_ms:.1f} ms")
 
 
 if __name__ == "__main__":

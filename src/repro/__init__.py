@@ -69,7 +69,7 @@ from repro.serve import (
     ServiceStats,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "CellId",

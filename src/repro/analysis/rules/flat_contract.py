@@ -9,10 +9,17 @@ guards against with strict buffer contracts).
 
 ``flat.py`` therefore carries a declarative ``FLAT_BUFFER_SPEC`` —
 buffer name -> little-endian dtype string — which this rule treats as
-the single source of truth:
+the single source of truth.  The spec may be one plain dict literal or
+a ``{**SECTION_A, **SECTION_B, ...}`` spread merge of module-level
+section literals (the two-layer plan splits the spec into geometry /
+coverage / extension planes); spreads are resolved statically and every
+section literal is treated as part of the spec declaration:
 
 * ``_ALIGN`` must stay 64 (the header table and every attach-side
   ``offset`` computation assume cache-line alignment),
+* spread sections must be disjoint — a buffer declared in two sections
+  would make the merged spec order-dependent and lets the planes
+  disagree about who owns the buffer,
 * every string subscript into a ``buffers`` mapping, anywhere in the
   project, must name a spec entry (catches reader-side typos and
   unspecced additions),
@@ -48,13 +55,63 @@ _NP_DTYPE_STRS = {
 }
 
 
-def _find_spec(module: ModuleInfo) -> tuple[dict[str, str], ast.Dict] | None:
-    """(spec dict, spec AST node) when the module defines FLAT_BUFFER_SPEC.
+def _module_dict_literals(
+    module: ModuleInfo,
+) -> dict[str, tuple[ast.Dict, dict[str, str]]]:
+    """Name -> (AST node, entries) for module-level string-dict literals.
 
-    The AST node is returned so the pack-table scan can skip the spec's
-    own literal — it trivially mentions every spec key and would
-    otherwise mark all of them as referenced.
+    Only fully plain literals qualify (every key and value a string
+    constant) — these are the spec *section* candidates a spread merge
+    may reference.
     """
+    literals: dict[str, tuple[ast.Dict, dict[str, str]]] = {}
+    for node in module.tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if not isinstance(value, ast.Dict):
+            continue
+        entries: dict[str, str] = {}
+        plain = True
+        for key, val in zip(value.keys, value.values):
+            if (
+                isinstance(key, ast.Constant)
+                and isinstance(key.value, str)
+                and isinstance(val, ast.Constant)
+                and isinstance(val.value, str)
+            ):
+                entries[key.value] = val.value
+            else:
+                plain = False
+        if not plain:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                literals[target.id] = (value, entries)
+    return literals
+
+
+#: One ``**SECTION`` constituent of a spread-merged spec.
+_SpecSection = tuple[str, dict[str, str], int]
+
+
+def _find_spec(
+    module: ModuleInfo,
+) -> tuple[dict[str, str], list[ast.Dict], list[_SpecSection]] | None:
+    """(spec, declaration AST nodes, sections) for FLAT_BUFFER_SPEC.
+
+    The spec literal may inline entries directly or merge module-level
+    section literals with ``**SECTION`` spreads; both resolve here.  All
+    declaration nodes (the spec literal plus every spread section's
+    literal) are returned so the pack-table scan can skip them — they
+    trivially mention every spec key and would otherwise mark all of
+    them as referenced.  Sections come back as (name, entries, line) for
+    the disjointness check.
+    """
+    literals = _module_dict_literals(module)
     for node in module.tree.body:
         targets: list[ast.expr] = []
         value: ast.expr | None = None
@@ -66,15 +123,24 @@ def _find_spec(module: ModuleInfo) -> tuple[dict[str, str], ast.Dict] | None:
             if isinstance(target, ast.Name) and target.id == "FLAT_BUFFER_SPEC":
                 if isinstance(value, ast.Dict):
                     spec: dict[str, str] = {}
+                    declarations = [value]
+                    sections: list[_SpecSection] = []
                     for key, val in zip(value.keys, value.values):
-                        if (
+                        if key is None:  # a ``**SECTION`` spread
+                            name = val.id if isinstance(val, ast.Name) else None
+                            if name is not None and name in literals:
+                                section_node, entries = literals[name]
+                                declarations.append(section_node)
+                                sections.append((name, entries, val.lineno))
+                                spec.update(entries)
+                        elif (
                             isinstance(key, ast.Constant)
                             and isinstance(key.value, str)
                             and isinstance(val, ast.Constant)
                             and isinstance(val.value, str)
                         ):
                             spec[key.value] = val.value
-                    return spec, value
+                    return spec, declarations, sections
     return None
 
 
@@ -146,14 +212,33 @@ class FlatContractRule(Rule):
     def check_project(self, project: Project) -> Iterable[Finding]:
         spec_module: ModuleInfo | None = None
         spec: dict[str, str] = {}
-        spec_node: ast.Dict | None = None
+        declarations: list[ast.Dict] = []
+        sections: list[_SpecSection] = []
         for module in project.modules:
             found = _find_spec(module)
             if found is not None:
-                spec_module, (spec, spec_node) = module, found
+                spec_module, (spec, declarations, sections) = module, found
                 break
         if spec_module is None:
             return  # project does not use the flat plane (e.g. test fixtures)
+
+        # Spread sections must be disjoint: an overlapping buffer makes
+        # the merged spec order-dependent and lets two plane sections
+        # disagree about which one owns the buffer.
+        owner_section: dict[str, str] = {}
+        for name, entries, lineno in sections:
+            for key in entries:
+                if key in owner_section:
+                    yield self.finding(
+                        spec_module,
+                        lineno,
+                        f"buffer {key!r} is declared in both "
+                        f"{owner_section[key]} and {name} — spec plane "
+                        f"sections must be disjoint",
+                        symbol=f"overlap:{key}",
+                    )
+                else:
+                    owner_section[key] = name
 
         align = _align_value(spec_module)
         if align is not None and align[0] != _EXPECTED_ALIGN:
@@ -182,7 +267,9 @@ class FlatContractRule(Rule):
         # a pack table and must stay inside the spec, with matching dtypes
         # where they are statically visible.
         for node in ast.walk(spec_module.tree):
-            if not isinstance(node, ast.Dict) or node is spec_node:
+            if not isinstance(node, ast.Dict) or any(
+                node is declared for declared in declarations
+            ):
                 continue
             keys = [
                 k.value

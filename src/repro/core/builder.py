@@ -33,7 +33,7 @@ from __future__ import annotations
 import itertools
 import threading
 from dataclasses import dataclass
-from collections.abc import Callable, Iterable, Sequence
+from collections.abc import Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -224,6 +224,26 @@ def build_pipeline(
     )
 
 
+def build_partition_store(
+    cells: Mapping[int, tuple],
+    *,
+    fanout_bits: int = 8,
+) -> tuple[SuperCovering, object, LookupTable]:
+    """Index one partition's covering subset (store build only).
+
+    The shared tail of both partition paths: worker-side
+    :func:`build_partition_index` (which pairs the store with a local
+    polygon table) and the sharded front's two-layer coverage-plane
+    publication (which pairs each shard's store with the single shared
+    geometry plane instead of replicating polygons).  ``cells`` is a
+    subset of an already-built super covering — disjoint by
+    construction, so no coverer or conflict resolution runs.
+    """
+    super_covering = SuperCovering.from_raw(cells)
+    store, lookup_table = build_store(super_covering, fanout_bits=fanout_bits)
+    return super_covering, store, lookup_table
+
+
 def build_partition_index(
     num_polygons: int,
     members: dict[int, Polygon],
@@ -256,10 +276,9 @@ def build_partition_index(
     """
     if version is not None:
         ensure_version_floor(version)
-    super_covering = SuperCovering.from_raw(cells)
     with Timer() as store_timer:
-        store, lookup_table = build_store(
-            super_covering, fanout_bits=fanout_bits
+        super_covering, store, lookup_table = build_partition_store(
+            cells, fanout_bits=fanout_bits
         )
     polygons: list[Polygon | None] = [
         members.get(pid) for pid in range(num_polygons)

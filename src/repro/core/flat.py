@@ -50,6 +50,7 @@ from collections.abc import Mapping, Sequence
 
 import numpy as np
 
+from repro.cells.cellid import CellId
 from repro.core.act import _FACE_SHIFT, AdaptiveCellTrie, _FaceTree
 from repro.core.builder import (
     BuildTimings,
@@ -79,21 +80,13 @@ FLAT_FORMAT_VERSION = 1
 #: and buffers cache-line aligned.
 _ALIGN = 64
 
-#: The flat container's buffer contract: every buffer a packed snapshot
-#: may carry, with its wire dtype (little-endian numpy dtype strings, as
-#: written into the RFLAT header table).  ``repro.analysis``'s
-#: flat-contract rule checks packing sites against this table, and
-#: :func:`validate_buffers` enforces it at runtime — a dtype drift here
-#: silently corrupts every attached reader, so it must never happen by
-#: accident.
-FLAT_BUFFER_SPEC: dict[str, str] = {
-    "act_pool": "<u8",
-    "act_faces": "<u8",
-    "act_face_values": "<u8",
-    "lut": "<u4",
-    "cell_ids": "<u8",
-    "ref_offsets": "<i8",
-    "packed_refs": "<u4",
+#: Geometry-plane buffers: the plan-independent half of a snapshot —
+#: polygon ring geometry plus the refinement engine's packed edge-bucket
+#: table.  The sharded front publishes this section ONCE per layer in a
+#: single shared-memory segment; every shard worker attaches it
+#: read-only, so a polygon that straddles shard cuts still has exactly
+#: one copy of its geometry and accelerators machine-wide.
+FLAT_GEOMETRY_BUFFERS: dict[str, str] = {
     "poly_ring_index": "<i8",
     "ring_vertex_index": "<i8",
     "ring_lngs": "<f8",
@@ -112,9 +105,28 @@ FLAT_BUFFER_SPEC: dict[str, str] = {
     "ref_x0": "<f8",
     "ref_dx": "<f8",
     "ref_inv_dy": "<f8",
-    # Extension buffers appended by repro.core.serialize for dynamic
-    # indexes: the pending delta log (ring-packed geometry) plus the
-    # persisted training configuration.
+}
+
+#: Coverage-plane buffers: one partition's covering subset, its ACT
+#: store and lookup table, and (in a sharded two-layer plan) the
+#: polygon -> home-shard assignment the worker-side mini-joins classify
+#: candidate pairs with.  Per shard, private, small relative to the
+#: shared geometry plane.
+FLAT_COVERAGE_BUFFERS: dict[str, str] = {
+    "act_pool": "<u8",
+    "act_faces": "<u8",
+    "act_face_values": "<u8",
+    "lut": "<u4",
+    "cell_ids": "<u8",
+    "ref_offsets": "<i8",
+    "packed_refs": "<u4",
+    "home_shards": "<i8",
+}
+
+#: Extension buffers appended by repro.core.serialize for dynamic
+#: indexes: the pending delta log (ring-packed geometry) plus the
+#: persisted training configuration.
+FLAT_EXTENSION_BUFFERS: dict[str, str] = {
     "delta_kinds": "|i1",
     "delta_pids": "<i8",
     "delta_ring_index": "<i8",
@@ -122,6 +134,21 @@ FLAT_BUFFER_SPEC: dict[str, str] = {
     "delta_lngs": "<f8",
     "delta_lats": "<f8",
     "training_cell_ids": "<u8",
+}
+
+#: The flat container's buffer contract: every buffer a packed snapshot
+#: may carry, with its wire dtype (little-endian numpy dtype strings, as
+#: written into the RFLAT header table), merged from the disjoint
+#: geometry / coverage / extension sections above.  ``repro.analysis``'s
+#: flat-contract rule checks packing sites against this table (resolving
+#: the section merge and checking the sections stay disjoint), and
+#: :func:`validate_buffers` enforces it at runtime — a dtype drift here
+#: silently corrupts every attached reader, so it must never happen by
+#: accident.
+FLAT_BUFFER_SPEC: dict[str, str] = {
+    **FLAT_GEOMETRY_BUFFERS,
+    **FLAT_COVERAGE_BUFFERS,
+    **FLAT_EXTENSION_BUFFERS,
 }
 
 
@@ -313,6 +340,46 @@ class FlatSnapshot:
             lo = base + record_offset
             blob[lo : lo + array.nbytes] = array.reshape(-1).view(np.uint8)
         return blob
+
+    @classmethod
+    def from_planes(
+        cls, geometry: "FlatSnapshot", coverage: "FlatSnapshot"
+    ) -> "FlatSnapshot":
+        """Compose one serveable snapshot from a geometry + coverage plane.
+
+        The two planes live in separate blobs — a shard worker attaches
+        the layer's single machine-wide geometry segment and its own
+        coverage segment — and the composed snapshot's buffers are views
+        into both.  The planes' metas merge (they carry disjoint keys by
+        construction: polygon-table facts on the geometry side, store
+        facts on the coverage side) and both source snapshots are pinned
+        as the owner, which keeps both attachments mapped for the
+        composed snapshot's lifetime.
+        """
+        for plane, expected in ((geometry, "geometry"), (coverage, "coverage")):
+            if plane.meta.get("flat_format") != FLAT_FORMAT_VERSION:
+                raise ValueError(
+                    f"unsupported flat snapshot format "
+                    f"{plane.meta.get('flat_format')!r} in {expected} plane"
+                )
+            declared = plane.meta.get("plane")
+            if declared is not None and declared != expected:
+                raise ValueError(
+                    f"expected a {expected} plane, got {declared!r}"
+                )
+        overlap = set(geometry.buffers) & set(coverage.buffers)
+        if overlap:
+            raise ValueError(
+                f"geometry and coverage planes overlap on buffers "
+                f"{sorted(overlap)}"
+            )
+        meta = {**geometry.meta, **coverage.meta}
+        meta.pop("plane", None)
+        return cls(
+            meta,
+            {**geometry.buffers, **coverage.buffers},
+            owner=(geometry, coverage),
+        )
 
     @classmethod
     def from_buffer(cls, blob, owner: object = None) -> "FlatSnapshot":
@@ -593,14 +660,65 @@ def _attach_refiner_table(buffers: Mapping[str, np.ndarray]) -> _FlatBucketTable
     return table
 
 
-def pack_index(index: PolygonIndex) -> FlatSnapshot:
-    """Pack one index generation (ACT-backed or already flat) into buffers.
+def pack_geometry_plane(index: PolygonIndex) -> FlatSnapshot:
+    """Pack the plan-independent geometry plane of one index generation.
 
-    An index already serving from a flat snapshot returns that snapshot
-    unchanged — repacking would copy buffers for no benefit."""
-    if isinstance(index, FlatPolygonIndex) and index.store is index._flat_store:
-        return index.snapshot
-    store = index.store
+    Ring geometry for the FULL polygon table plus the refinement
+    engine's flat bucket table — everything a worker needs to refine any
+    candidate pair, independent of how the covering is partitioned.  The
+    sharded front publishes this plane once per layer; each shard pairs
+    it with its private coverage plane via
+    :meth:`FlatSnapshot.from_planes`.
+    """
+    ring_index, vertex_index, ring_lngs, ring_lats = pack_polygon_geometry(
+        index.polygons
+    )
+    # The plane ships the refinement engine's flat bucket table, so an
+    # attached index refines without rebuilding a single accelerator.
+    view = index.probe_view()
+    refiner = view.refiner if view.refiner is not None else RefinementEngine(
+        tuple(index.polygons)
+    )
+    buffers: dict[str, np.ndarray] = {
+        "poly_ring_index": ring_index,
+        "ring_vertex_index": vertex_index,
+        "ring_lngs": ring_lngs,
+        "ring_lats": ring_lats,
+        **_pack_refiner_table(refiner._flat_table()),
+    }
+    validate_buffers(buffers)
+    meta = {
+        "flat_format": FLAT_FORMAT_VERSION,
+        "plane": "geometry",
+        "num_polygons": len(index.polygons),
+        "precision_meters": (
+            float(index.precision_meters)
+            if index.precision_meters is not None
+            else None
+        ),
+        "version": int(index.version),
+    }
+    return FlatSnapshot(meta, buffers)
+
+
+def pack_coverage_plane(
+    covering: SuperCovering,
+    store: AdaptiveCellTrie,
+    *,
+    home_shards: np.ndarray | None = None,
+    meta_extra: Mapping[str, object] | None = None,
+) -> FlatSnapshot:
+    """Pack one coverage plane: a covering (subset) + its ACT store.
+
+    ``covering``/``store`` describe one partition (or the whole index);
+    ``home_shards`` optionally ships the plan's polygon -> home-shard
+    assignment (global id space, ``-1`` = unreferenced) that the
+    worker-side mini-joins classify candidates with.  Only
+    :data:`FLAT_COVERAGE_BUFFERS` names may appear here — geometry
+    buffers belong to the geometry plane exactly once, which is the
+    structural guarantee behind the two-layer plan's replication factor
+    of 1.0.
+    """
     if not isinstance(store, AdaptiveCellTrie):
         raise NotImplementedError(
             "flat snapshots are wired up for the ACT store "
@@ -618,16 +736,7 @@ def pack_index(index: PolygonIndex) -> FlatSnapshot:
     face_values = np.zeros((len(store._face_values), 2), dtype=np.uint64)
     for row, (face, entry) in enumerate(sorted(store._face_values.items())):
         face_values[row] = (face, entry)
-    cell_ids, ref_offsets, packed_refs = pack_covering(index.super_covering)
-    ring_index, vertex_index, ring_lngs, ring_lats = pack_polygon_geometry(
-        index.polygons
-    )
-    # The snapshot ships the refinement engine's flat bucket table, so an
-    # attached index refines without rebuilding a single accelerator.
-    view = index.probe_view()
-    refiner = view.refiner if view.refiner is not None else RefinementEngine(
-        tuple(index.polygons)
-    )
+    cell_ids, ref_offsets, packed_refs = pack_covering(covering)
     buffers: dict[str, np.ndarray] = {
         "act_pool": store.pool,
         "act_faces": faces,
@@ -636,32 +745,58 @@ def pack_index(index: PolygonIndex) -> FlatSnapshot:
         "cell_ids": cell_ids,
         "ref_offsets": ref_offsets,
         "packed_refs": packed_refs,
-        "poly_ring_index": ring_index,
-        "ring_vertex_index": vertex_index,
-        "ring_lngs": ring_lngs,
-        "ring_lats": ring_lats,
-        **_pack_refiner_table(refiner._flat_table()),
     }
+    if home_shards is not None:
+        buffers["home_shards"] = np.ascontiguousarray(
+            home_shards, dtype=np.int64
+        )
+    stray = set(buffers) - set(FLAT_COVERAGE_BUFFERS)
+    if stray:  # pragma: no cover - guarded by construction above
+        raise ValueError(
+            f"coverage plane carries non-coverage buffers {sorted(stray)}"
+        )
     validate_buffers(buffers)
     meta = {
         "flat_format": FLAT_FORMAT_VERSION,
+        "plane": "coverage",
         "fanout_bits": int(store.fanout_bits),
         "max_value_depth": int(store._max_value_depth),
         "num_nodes": int(store.num_nodes),
         "num_keys": int(store.num_keys),
         "num_input_cells": int(store.num_input_cells),
         "build_seconds": float(store.build_seconds),
-        "num_cells": int(index.num_cells),
-        "max_cell_level": int(index.max_cell_level()),
-        "num_polygons": len(index.polygons),
-        "precision_meters": (
-            float(index.precision_meters)
-            if index.precision_meters is not None
-            else None
+        "num_cells": int(covering.num_cells),
+        "max_cell_level": max(
+            (CellId(raw_id).level for raw_id in covering.raw_items()),
+            default=0,
         ),
-        "version": int(index.version),
     }
+    if meta_extra:
+        meta.update(meta_extra)
     return FlatSnapshot(meta, buffers)
+
+
+def pack_index(index: PolygonIndex) -> FlatSnapshot:
+    """Pack one index generation (ACT-backed or already flat) into buffers.
+
+    Composed from the two planes — :func:`pack_geometry_plane` +
+    :func:`pack_coverage_plane` over the full covering — so a standalone
+    snapshot and a sharded two-layer publication are byte-compatible
+    views of the same packing code.  An index already serving from a
+    flat snapshot returns that snapshot unchanged — repacking would copy
+    buffers for no benefit."""
+    if isinstance(index, FlatPolygonIndex) and index.store is index._flat_store:
+        return index.snapshot
+    store = index.store
+    if not isinstance(store, AdaptiveCellTrie):
+        raise NotImplementedError(
+            "flat snapshots are wired up for the ACT store "
+            f"(got {type(store).__name__})"
+        )
+    return FlatSnapshot.from_planes(
+        pack_geometry_plane(index),
+        pack_coverage_plane(index.super_covering, store),
+    )
 
 
 # ----------------------------------------------------------------------

@@ -30,6 +30,8 @@ from __future__ import annotations
 import bisect
 from collections.abc import Iterable, Iterator, Mapping, Sequence
 
+import numpy as np
+
 from repro.cells.cellid import MAX_LEVEL, CellId
 from repro.core.refs import PolygonRef, merge_refs
 
@@ -99,6 +101,38 @@ class SuperCovering:
         }
         covering._sorted_ids = sorted(covering._refs)
         return covering
+
+    def entry_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized export of every (cell, polygon-ref) entry.
+
+        Returns ``(cell_ids, counts, entry_pids)``: the id-sorted cell
+        ids (``uint64``), each cell's reference count (``int64``), and
+        the polygon id of every entry concatenated in that cell order
+        (``int64``, ``counts.sum()`` long).  This is the array form the
+        sharded serving layer plans over — home-cell attribution, cut
+        balancing, and owned/borrowed classification are all
+        ``np.repeat``/``bincount`` kernels over these three arrays
+        instead of Python loops over the refs dict.
+        """
+        num_cells = len(self._sorted_ids)
+        cell_ids = np.fromiter(
+            self._sorted_ids, dtype=np.uint64, count=num_cells
+        )
+        counts = np.fromiter(
+            (len(self._refs[raw_id]) for raw_id in self._sorted_ids),
+            dtype=np.int64,
+            count=num_cells,
+        )
+        entry_pids = np.fromiter(
+            (
+                ref.polygon_id
+                for raw_id in self._sorted_ids
+                for ref in self._refs[raw_id]
+            ),
+            dtype=np.int64,
+            count=int(counts.sum()) if num_cells else 0,
+        )
+        return cell_ids, counts, entry_pids
 
     def find_containing(self, leaf_id: int) -> tuple[CellId, tuple[PolygonRef, ...]] | None:
         """The unique cell containing a leaf id, or None (walks ancestors)."""

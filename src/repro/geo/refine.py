@@ -570,21 +570,12 @@ class RefinementEngine:
         cand_points = point_idx[cand]
         cand_pids = pids[cand]
         num_candidates = len(cand_points)
-        accepted = np.zeros(num_candidates, dtype=bool)
         if num_candidates:
-            cand_lngs = lngs[cand_points]
-            cand_lats = lats[cand_points]
-            if self._build_table and (
-                num_candidates >= _TABLE_MIN_PAIRS or self._table is not None
-            ):
-                accepted = self._flat_table().test(
-                    cand_pids, cand_lngs, cand_lats
-                )
-            else:
-                self._refine_groups(
-                    np.arange(num_candidates), cand_pids, cand_lngs,
-                    cand_lats, accepted,
-                )
+            accepted = self._accept_candidates(
+                cand_pids, lngs[cand_points], lats[cand_points]
+            )
+        else:
+            accepted = np.zeros(0, dtype=bool)
         keep_points = np.concatenate([point_idx[is_true], cand_points[accepted]])
         keep_pids = np.concatenate([pids[is_true], cand_pids[accepted]])
         if num_candidates:
@@ -596,6 +587,34 @@ class RefinementEngine:
         else:
             num_refined = 0
         return keep_points, keep_pids, int(num_candidates), num_refined
+
+    def _accept_candidates(
+        self,
+        cand_pids: np.ndarray,
+        cand_lngs: np.ndarray,
+        cand_lats: np.ndarray,
+    ) -> np.ndarray:
+        """PIP-accept one candidate batch; returns the boolean accept mask.
+
+        The table-vs-group dispatch lives here so subclasses (the sharded
+        mini-join refiner) can partition a batch into classes, run each
+        class through this same decision procedure, and scatter the masks
+        back — each pair's verdict depends only on the pair itself, so
+        any partition of the batch yields a bit-identical overall mask.
+        """
+        num_candidates = len(cand_pids)
+        accepted = np.zeros(num_candidates, dtype=bool)
+        if num_candidates == 0:
+            return accepted
+        if self._build_table and (
+            num_candidates >= _TABLE_MIN_PAIRS or self._table is not None
+        ):
+            return self._flat_table().test(cand_pids, cand_lngs, cand_lats)
+        self._refine_groups(
+            np.arange(num_candidates), cand_pids, cand_lngs, cand_lats,
+            accepted,
+        )
+        return accepted
 
     def _refine_groups(
         self,

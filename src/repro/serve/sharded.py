@@ -8,21 +8,47 @@ the partition-based scheme of Tsitsigkos et al. (*Parallel In-Memory
 Evaluation of Spatial Joins*) applied to the paper's cell-id domain:
 
 * :class:`ShardPlan` cuts the Hilbert curve into ``num_shards``
-  contiguous leaf-id ranges, balancing on covering-cell counts (each
-  (cell, polygon-ref) entry is one unit of probe/refine work).  The
-  super covering's cells are disjoint, so every cell — and therefore
-  every point probing it — belongs to exactly one shard, while a
-  *polygon* whose covering straddles a cut is replicated into every
-  shard it touches.  Replication changes no reference set, so sharded
-  results are bit-identical to the unsharded join by construction.
+  contiguous leaf-id ranges.  The super covering's cells are disjoint,
+  so every cell — and therefore every point probing it — belongs to
+  exactly one shard.  Every polygon gets a *home shard*: the shard of
+  its median covering entry in curve order (cut-independent, so it
+  exists before any cuts do).  Each shard's (cell, ref) entries then classify into
+  **owned** (the polygon is homed here) vs **borrowed** (its covering
+  straddles a cut from another shard) classes — the two-layer
+  space-oriented partitioning of Tsitsigkos et al. (*Parallel In-Memory
+  Evaluation of Spatial Joins*) applied to the paper's cell-id domain.
+  Cut points balance on owned work only (``balance="owned"``), since
+  borrowed entries would otherwise distort the weights toward
+  boundary-heavy shards; the plan surfaces ``replication_factor`` and
+  per-class counts.
+* With the default ``plan="two-layer"`` a layer's snapshot publishes in
+  TWO kinds of shared-memory segment::
+
+      geometry plane (one segment per layer, shared machine-wide)
+        ring geometry | packed refinement edge buckets | polygon table
+              ^ attach read-only   ^ attach     ...      ^ attach
+      coverage planes (one private segment per shard)
+        shard 0: covering subset | ACT store | lut | home_shards
+        shard 1: covering subset | ACT store | lut | home_shards
+        ...
+
+  A straddling polygon contributes covering cells to several coverage
+  planes, but its geometry and accelerators exist exactly once —
+  measured replication factor 1.0 by construction.  Worker-side, each
+  shard composes the two planes via
+  :meth:`~repro.core.flat.FlatSnapshot.from_planes` and refines through
+  a class-aware **mini-join** refiner: candidate pairs split into the
+  owned and borrowed classes, each class refines as its own mini-join,
+  and the accept masks scatter back in original order — bit-identical
+  to the unsplit engine, so merged results need no front-side dedup.
+  ``plan="replicate"`` keeps the pre-two-layer behavior (each shard's
+  full sub-index packed into its own segment, straddlers copied per
+  shard) as the comparison baseline.
 * A **shard worker** is a spawned process hosting one ordinary
-  :class:`JoinService` over its partition sub-indexes.  With the default
-  ``snapshot="flat"`` the front builds each partition once, packs it
-  into a :class:`~repro.core.flat.FlatSnapshot`, and publishes the blob
-  in a ``multiprocessing.shared_memory`` segment; the worker *attaches*
-  (a buffer map, no store build) and serves from the shared pages.
-  ``snapshot="rebuild"`` ships the covering cells instead and the
-  worker rebuilds via
+  :class:`JoinService` over its partition sub-indexes.  With
+  ``snapshot="flat"`` workers *attach* published segments (a buffer
+  map, no store build); ``snapshot="rebuild"`` ships the covering cells
+  instead and the worker rebuilds via
   :func:`~repro.core.builder.build_partition_index` (the coverer never
   re-runs either way) — kept for comparison benchmarks.  Batch
   coordinates travel through shared-memory buffers too, never the
@@ -51,6 +77,7 @@ front-side dispatches.
 from __future__ import annotations
 
 import contextlib
+import dataclasses
 import threading
 import traceback
 from dataclasses import dataclass
@@ -62,17 +89,27 @@ import numpy as np
 
 from repro.cells.vectorized import (
     cell_ids_from_lat_lng_arrays,
+    home_rows_from_entries,
+    owned_entry_mask,
     range_bounds_from_cell_ids,
 )
 from repro.core.adaptive import AdaptationPolicy
 from repro.core.builder import (
     PolygonIndex,
     build_partition_index,
+    build_partition_store,
     ensure_version_floor,
 )
-from repro.core.flat import FlatSnapshot, attach_index, pack_index
+from repro.core.flat import (
+    FlatSnapshot,
+    attach_index,
+    pack_coverage_plane,
+    pack_geometry_plane,
+    pack_index,
+)
 from repro.core.joins import JoinResult
 from repro.geo.polygon import Polygon
+from repro.geo.refine import RefinementEngine
 from repro.obs import DispatchMeters, Observability, ObsConfig
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.serve.batching import LookupRequest, MicroBatcher
@@ -115,32 +152,103 @@ class ShardPlan:
     cell can exceed a whole shard's weight share); the shards they
     collapse simply stay empty, keeping shard ids stable in
     ``[0, num_shards)``.
+
+    Every *referenced* polygon has a **home shard** — the shard holding
+    its median (cell, ref) entry in curve order, a property of the
+    covering alone and independent of where the cuts land (the median
+    is robust to coverings that straddle a curve discontinuity, where a
+    min-id anchor would collapse every home into one sliver).  A shard's polygons then split
+    into ``owned`` (homed here) and ``borrowed`` (covering cells here,
+    homed elsewhere — the straddlers), and the same classification
+    applies to the (cell, ref) entries (``owned_weights`` vs
+    ``borrowed_weights``).  Cuts balance on ``owned_work`` by default:
+    each polygon's TOTAL entry count attributed to its home cell, so a
+    boundary-heavy covering does not double-count straddlers into every
+    shard they touch when choosing where to cut.
     """
 
     num_shards: int
     boundaries: np.ndarray  # (num_shards - 1,) uint64 leaf-id cut points
-    members: tuple[tuple[int, ...], ...]  # polygon ids per shard
+    owned: tuple[tuple[int, ...], ...]  # polygon ids homed per shard
+    borrowed: tuple[tuple[int, ...], ...]  # straddlers referenced per shard
     cells: tuple[dict[int, tuple], ...]  # covering subset per shard
     cell_weights: tuple[int, ...]  # (cell, ref) entries per shard
+    owned_weights: tuple[int, ...]  # owned-class entries per shard
+    borrowed_weights: tuple[int, ...]  # borrowed-class entries per shard
+    owned_work: tuple[int, ...]  # Σ entry count of polygons homed per shard
+    home_shards: np.ndarray  # (num_polygons,) int64 home shard, -1 = unreferenced
+    balance: str = "owned"
+
+    @property
+    def members(self) -> tuple[tuple[int, ...], ...]:
+        """Polygon ids referenced per shard (owned ∪ borrowed, sorted)."""
+        return tuple(
+            tuple(sorted(self.owned[shard] + self.borrowed[shard]))
+            for shard in range(self.num_shards)
+        )
+
+    @property
+    def replication_factor(self) -> float:
+        """Per-shard polygon slots per distinct referenced polygon.
+
+        Exactly 1.0 when no covering straddles a cut; the classic
+        replicate-the-straddlers publication materializes this many
+        polygon-table copies, while the two-layer publication stores
+        geometry once regardless (its measured factor is 1.0 by
+        construction).
+        """
+        referenced = int(np.count_nonzero(self.home_shards >= 0))
+        if referenced == 0:
+            return 1.0
+        slots = sum(
+            len(self.owned[shard]) + len(self.borrowed[shard])
+            for shard in range(self.num_shards)
+        )
+        return slots / referenced
 
     @classmethod
-    def from_index(cls, index: PolygonIndex, num_shards: int) -> "ShardPlan":
+    def from_index(
+        cls,
+        index: PolygonIndex,
+        num_shards: int,
+        *,
+        balance: str = "owned",
+    ) -> "ShardPlan":
         """Plan ``num_shards`` partitions of a built index's covering.
 
-        Weights each cell by its reference count (one (cell, ref) entry
-        is one unit of probe decode + potential refinement work) and
-        cuts the id-sorted cell sequence at the weighted quantiles.
+        ``balance="owned"`` (default) weights each cell by the owned
+        work homed there — every polygon's total (cell, ref) entry count
+        attributed to its home cell — and cuts the
+        id-sorted cell sequence at the weighted quantiles, so straddlers
+        count once toward exactly one shard's share.  ``"entries"``
+        keeps the historical per-cell reference-count weighting
+        (straddlers weigh into every shard they touch), retained for the
+        balance-regression comparison.
         """
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
-        raw = index.super_covering.raw_items()
-        ids = np.fromiter(raw.keys(), dtype=np.uint64, count=len(raw))
-        ids.sort()
-        weights = np.fromiter(
-            (len(raw[int(i)]) for i in ids), dtype=np.int64, count=len(ids)
+        if balance not in ("owned", "entries"):
+            raise ValueError(f"unknown balance mode {balance!r}")
+        num_polygons = len(index.polygons)
+        covering = index.super_covering
+        raw = covering.raw_items()
+        ids, counts, entry_pids = covering.entry_arrays()
+        num_cells = len(ids)
+        # One row index per (cell, ref) entry, in id-sorted cell order.
+        entry_rows = np.repeat(np.arange(num_cells, dtype=np.int64), counts)
+        # Home cell (row) of every polygon: its MINIMUM covering cell id
+        # — defined before any cuts exist, so the owned-work weights the
+        # cuts balance on cannot depend on the cuts themselves.
+        home_rows = home_rows_from_entries(entry_rows, entry_pids, num_polygons)
+        referenced = home_rows >= 0
+        poly_entries = np.bincount(entry_pids, minlength=num_polygons)
+        owned_work_per_cell = np.zeros(num_cells, dtype=np.int64)
+        np.add.at(
+            owned_work_per_cell, home_rows[referenced], poly_entries[referenced]
         )
+        weights = owned_work_per_cell if balance == "owned" else counts
         lo, hi = range_bounds_from_cell_ids(ids)
-        if num_shards == 1 or len(ids) == 0:
+        if num_shards == 1 or num_cells == 0:
             boundaries = np.zeros(0, dtype=np.uint64)
         else:
             cumulative = np.cumsum(weights)
@@ -149,7 +257,7 @@ class ShardPlan:
             for k in range(1, num_shards):
                 target = total * k / num_shards
                 idx = int(np.searchsorted(cumulative, target, side="left"))
-                idx = min(idx, len(ids) - 1)
+                idx = min(idx, num_cells - 1)
                 cuts.append(int(lo[idx]))
             boundaries = np.asarray(sorted(cuts), dtype=np.uint64)
         if boundaries.size:
@@ -163,24 +271,53 @@ class ShardPlan:
                     "the covering is not disjoint"
                 )
         else:
-            shard_of_cell = np.zeros(len(ids), dtype=np.int64)
-        cells: list[dict[int, tuple]] = [dict() for _ in range(num_shards)]
-        member_sets: list[set[int]] = [set() for _ in range(num_shards)]
-        for cell_id, shard in zip(ids.tolist(), shard_of_cell.tolist()):
-            refs = raw[cell_id]
-            cells[shard][cell_id] = refs
-            for ref in refs:
-                member_sets[shard].add(ref.polygon_id)
-        cell_weights = tuple(
-            int(sum(len(refs) for refs in shard_cells.values()))
-            for shard_cells in cells
+            shard_of_cell = np.zeros(num_cells, dtype=np.int64)
+        home_shards = np.full(num_polygons, -1, dtype=np.int64)
+        home_shards[referenced] = shard_of_cell[home_rows[referenced]]
+        entry_shards = shard_of_cell[entry_rows]
+        owned_mask = owned_entry_mask(entry_shards, entry_pids, home_shards)
+        cell_weights = np.bincount(entry_shards, minlength=num_shards)
+        owned_weights = np.bincount(
+            entry_shards[owned_mask], minlength=num_shards
         )
+        owned_work = np.zeros(num_shards, dtype=np.int64)
+        np.add.at(
+            owned_work, home_shards[referenced], poly_entries[referenced]
+        )
+        owned_ids = tuple(
+            tuple(np.flatnonzero(home_shards == shard).tolist())
+            for shard in range(num_shards)
+        )
+        # Distinct borrowed (shard, polygon) pairs via one composite-key
+        # unique — a straddler can enter a shard through many cells.
+        borrowed_lists: list[list[int]] = [[] for _ in range(num_shards)]
+        b_shards = entry_shards[~owned_mask]
+        b_pids = entry_pids[~owned_mask]
+        if len(b_pids):
+            span = np.int64(num_polygons)
+            unique_keys = np.unique(b_shards * span + b_pids)
+            for shard, pid in zip(
+                (unique_keys // span).tolist(), (unique_keys % span).tolist()
+            ):
+                borrowed_lists[shard].append(pid)
+        cells: list[dict[int, tuple]] = [dict() for _ in range(num_shards)]
+        for cell_id, shard in zip(ids.tolist(), shard_of_cell.tolist()):
+            cells[shard][cell_id] = raw[cell_id]
         return cls(
             num_shards=num_shards,
             boundaries=boundaries,
-            members=tuple(tuple(sorted(m)) for m in member_sets),
+            owned=owned_ids,
+            borrowed=tuple(tuple(pids) for pids in borrowed_lists),
             cells=tuple(cells),
-            cell_weights=cell_weights,
+            cell_weights=tuple(int(w) for w in cell_weights),
+            owned_weights=tuple(int(w) for w in owned_weights),
+            borrowed_weights=tuple(
+                int(total - owned)
+                for total, owned in zip(cell_weights, owned_weights)
+            ),
+            owned_work=tuple(int(w) for w in owned_work),
+            home_shards=home_shards,
+            balance=balance,
         )
 
     def shard_for(self, leaf_ids: np.ndarray) -> np.ndarray:
@@ -223,12 +360,37 @@ class _FlatShardPart:  #: spawn_payload
     version: int  # the parent snapshot's version
 
 
+@dataclass(frozen=True)
+class _TwoLayerShardPart:  #: spawn_payload
+    """One layer's partition as a geometry + coverage plane pair.
+
+    The geometry segment is SHARED: every shard of the layer names the
+    same segment and maps the same pages (ring geometry, refinement
+    buckets, polygon table — published exactly once).  The coverage
+    segment is this shard's own: its covering subset, ACT store, lookup
+    table, and the plan's home-shard table.  The worker composes the two
+    planes back into one serveable snapshot via
+    :meth:`~repro.core.flat.FlatSnapshot.from_planes` and swaps in the
+    class-aware mini-join refiner.
+    """
+
+    shard: int
+    geometry_shm: str  # the layer's single shared geometry-plane segment
+    geometry_nbytes: int
+    coverage_shm: str  # this shard's private coverage-plane segment
+    coverage_nbytes: int
+    version: int  # the parent snapshot's version
+
+
+_AnyShardPart = _ShardPart | _FlatShardPart | _TwoLayerShardPart
+
+
 @dataclass
 class _WorkerPayload:  #: spawn_payload
     """Everything one shard worker needs to build its JoinService."""
 
     shard: int
-    parts: dict[str, _ShardPart | _FlatShardPart]  # layer name -> partition
+    parts: dict[str, _AnyShardPart]  # layer name -> partition
     cache_cells: int
     adaptation: AdaptationPolicy | None
     obs: ObsConfig | None = None  # worker-side observability settings
@@ -269,16 +431,18 @@ def _flat_part_for(
 
 
 def _index_from_part(
-    part: _ShardPart | _FlatShardPart, *, fresh_version: bool
+    part: _AnyShardPart, *, fresh_version: bool
 ) -> PolygonIndex:
     """Materialize the partition sub-index a part describes.
 
-    A :class:`_FlatShardPart` attaches to the front's published segment
-    (no store build); a :class:`_ShardPart` rebuilds from the shipped
-    covering cells.  The attach keeps its ``SharedMemory`` handle open
-    for the index's whole lifetime (pinned as the snapshot owner) —
-    closing it while numpy views into the buffers exist is an error, so
-    the handle is simply dropped with the index.
+    A :class:`_TwoLayerShardPart` attaches the layer's shared geometry
+    segment plus its own coverage segment and composes them; a
+    :class:`_FlatShardPart` attaches the front's single published
+    segment (no store build); a :class:`_ShardPart` rebuilds from the
+    shipped covering cells.  An attach keeps its ``SharedMemory``
+    handle(s) open for the index's whole lifetime (pinned as the
+    snapshot owner) — closing one while numpy views into the buffers
+    exist is an error, so the handles are simply dropped with the index.
 
     ``fresh_version=False`` stamps the parent snapshot's version (initial
     attach / add_layer: every shard of one snapshot agrees).
@@ -292,6 +456,16 @@ def _index_from_part(
         version = None
     else:
         version = part.version
+    if isinstance(part, _TwoLayerShardPart):
+        geometry_shm = _attach_shm(part.geometry_shm)
+        coverage_shm = _attach_shm(part.coverage_shm)
+        snapshot = FlatSnapshot.from_planes(
+            FlatSnapshot.from_buffer(geometry_shm.buf, owner=geometry_shm),
+            FlatSnapshot.from_buffer(coverage_shm.buf, owner=coverage_shm),
+        )
+        index = attach_index(snapshot, version=version)
+        _install_mini_join(index, shard=part.shard)
+        return index
     if isinstance(part, _FlatShardPart):
         shm = _attach_shm(part.shm_name)
         snapshot = FlatSnapshot.from_buffer(shm.buf, owner=shm)
@@ -304,6 +478,77 @@ def _index_from_part(
         fanout_bits=part.fanout_bits,
         version=version,
     )
+
+
+class _MiniJoinRefiner(RefinementEngine):
+    """Class-aware refinement: owned and borrowed candidates run as two
+    mini-joins whose accept masks scatter back in candidate order.
+
+    Bit-identity argument: a candidate pair's PIP verdict depends only
+    on the pair itself, so ANY partition of a batch — here by the
+    polygon's home-shard class — composes to exactly the mask the
+    unsplit engine computes, and merged shard results need no front-side
+    dedup.  The split buys the two-layer plan its accounting: the
+    ``owned_pairs`` / ``borrowed_pairs`` counters tell a shard how much
+    of its refinement work it performs on straddlers homed elsewhere.
+    """
+
+    def __init__(
+        self,
+        polygons: Sequence[Polygon | None],
+        *,
+        shard: int,
+        home_shards: np.ndarray,
+        table: object = None,
+    ):
+        super().__init__(polygons)
+        self._shard = int(shard)
+        self._home_shards = home_shards
+        if table is not None:
+            self._table = table  # adopt the geometry plane's bucket table
+        self.owned_pairs = 0
+        self.borrowed_pairs = 0
+
+    def _accept_candidates(
+        self,
+        cand_pids: np.ndarray,
+        cand_lngs: np.ndarray,
+        cand_lats: np.ndarray,
+    ) -> np.ndarray:
+        owned = self._home_shards[cand_pids] == self._shard
+        num_owned = int(np.count_nonzero(owned))
+        self.owned_pairs += num_owned
+        self.borrowed_pairs += len(cand_pids) - num_owned
+        if num_owned in (0, len(cand_pids)):
+            return super()._accept_candidates(cand_pids, cand_lngs, cand_lats)
+        accepted = np.zeros(len(cand_pids), dtype=bool)
+        for mask in (owned, ~owned):
+            idx = np.flatnonzero(mask)
+            accepted[idx] = super()._accept_candidates(
+                cand_pids[idx], cand_lngs[idx], cand_lats[idx]
+            )
+        return accepted
+
+
+def _install_mini_join(index: PolygonIndex, *, shard: int) -> None:
+    """Swap a freshly attached two-layer index onto the mini-join refiner.
+
+    No-op when the coverage plane carries no home-shard table (a
+    standalone ``pack_index`` snapshot): without the class assignment
+    there is nothing to split on.
+    """
+    home_shards = index.snapshot.buffers.get("home_shards")
+    if home_shards is None:
+        return
+    view = index.probe_view()
+    base = view.refiner
+    refiner = _MiniJoinRefiner(
+        view.polygons,
+        shard=shard,
+        home_shards=home_shards,
+        table=base._table if base is not None else None,
+    )
+    index._probe_view = dataclasses.replace(view, refiner=refiner)
 
 
 def _build_shard_service(payload: _WorkerPayload) -> JoinService:
@@ -739,12 +984,21 @@ class ShardedJoinService:
         ships batches through shared memory; ``"inline"`` hosts the
         shard services in-process (tests, debugging).
     snapshot:
-        ``"flat"`` (default) packs each shard's partition into a flat
-        snapshot segment once, front-side; workers (and every respawn
+        ``"flat"`` (default) packs each shard's partition into flat
+        snapshot segments once, front-side; workers (and every respawn
         or swap) attach zero-copy.  ``"rebuild"`` ships covering cells
         and rebuilds the store worker-side — the pre-flat behavior,
         kept for the attach-vs-rebuild benchmark.  Both serve
         bit-identical results.
+    plan:
+        ``"two-layer"`` (the default under ``snapshot="flat"``)
+        publishes one shared geometry-plane segment per layer plus one
+        private coverage-plane segment per shard — straddling polygons
+        are never replicated, and workers run class-aware mini-joins.
+        ``"replicate"`` (the default, and only option, under
+        ``snapshot="rebuild"``) packs each shard's full sub-index with
+        straddlers copied per shard — the pre-two-layer baseline the
+        bench compares against.  Both serve bit-identical results.
     adaptation:
         Fans out to every shard worker: each shard runs its own
         adaptation loop over its partition and retrains/swaps locally.
@@ -781,6 +1035,7 @@ class ShardedJoinService:
         adaptation: AdaptationPolicy | None = None,
         backend: str = "process",
         snapshot: str = "flat",
+        plan: str | None = None,
         start_method: str = "spawn",
         obs: Observability | None = None,
     ):
@@ -792,11 +1047,21 @@ class ShardedJoinService:
             raise ValueError(f"unknown backend {backend!r}")
         if snapshot not in ("flat", "rebuild"):
             raise ValueError(f"unknown snapshot mode {snapshot!r}")
+        if plan is None:
+            plan = "two-layer" if snapshot == "flat" else "replicate"
+        if plan not in ("two-layer", "replicate"):
+            raise ValueError(f"unknown plan mode {plan!r}")
+        if plan == "two-layer" and snapshot == "rebuild":
+            raise ValueError(
+                'plan="two-layer" requires snapshot="flat": the rebuild '
+                "path ships covering cells, not plane segments"
+            )
         for name, index in layers.items():
             _check_shardable(name, index)
         self.num_shards = num_shards
         self.backend = backend
         self.snapshot = snapshot
+        self.plan_mode = plan
         self._cache_cells = cache_cells
         self._obs = obs
         self._tracer: Tracer = obs.tracer if obs is not None else NULL_TRACER
@@ -819,6 +1084,22 @@ class ShardedJoinService:
             if metrics is not None
             else None
         )
+        self._geometry_bytes_gauge = (
+            metrics.gauge(
+                "shard_geometry_bytes",
+                "shared geometry-plane bytes published by the shard front",
+            )
+            if metrics is not None
+            else None
+        )
+        self._coverage_bytes_gauge = (
+            metrics.gauge(
+                "shard_coverage_bytes",
+                "per-shard coverage/sub-index bytes published by the front",
+            )
+            if metrics is not None
+            else None
+        )
         # The front's layer registry IS a LayerRouter: copy-on-write
         # snapshot reads, default-layer resolution, duplicate/rollback
         # validation — one implementation shared with JoinService.
@@ -829,7 +1110,13 @@ class ShardedJoinService:
         }
         # Flat-snapshot segments owned by the front, per layer, for the
         # CURRENT generation; retired (and unlinked) on swap and close.
+        # Under plan="two-layer" a layer's FIRST segment is its shared
+        # geometry plane, followed by one coverage segment per shard.
         self._segments: dict[str, tuple[SharedMemory, ...]] = {}  #: guarded_by(_lock)
+        # Published (geometry, per-shard) payload bytes and the measured
+        # geometry replication factor, per layer, current generation.
+        self._plane_bytes: dict[str, tuple[int, int]] = {}  #: guarded_by(_lock)
+        self._replication: dict[str, float] = {}  #: guarded_by(_lock)
         # One lock serializes scatter/gather dispatches and admin fan-outs:
         # worker pipes are request/response channels and must never see
         # interleaved conversations.
@@ -841,10 +1128,16 @@ class ShardedJoinService:
         try:
             parts_by_layer: dict[str, list] = {}
             for name, index in self._router.items():
-                parts, segments = self._publish_parts(self._plans[name], index)
+                parts, segments, plane_bytes = self._publish_parts(
+                    self._plans[name], index
+                )
                 parts_by_layer[name] = parts
                 if segments:
                     self._segments[name] = segments
+                self._plane_bytes[name] = plane_bytes
+                self._replication[name] = self._measured_replication(
+                    self._plans[name]
+                )
             payloads = [
                 _WorkerPayload(
                     shard=shard,
@@ -899,10 +1192,15 @@ class ShardedJoinService:
                     shard=payload.shard,
                     backend=backend,
                     snapshot=snapshot,
+                    plan=plan,
                     spawn_seconds=self._spawn_seconds[payload.shard],
-                    num_polygons=sum(
-                        len(plan.members[payload.shard])
-                        for plan in self._plans.values()
+                    num_owned=sum(
+                        len(p.owned[payload.shard])
+                        for p in self._plans.values()
+                    ),
+                    num_borrowed=sum(
+                        len(p.borrowed[payload.shard])
+                        for p in self._plans.values()
                     ),
                 )
         self._recorder = LatencyRecorder(window=latency_window)
@@ -940,12 +1238,20 @@ class ShardedJoinService:
 
     def _publish_parts(
         self, plan: ShardPlan, index: PolygonIndex
-    ) -> tuple[list[_ShardPart | _FlatShardPart], tuple[SharedMemory, ...]]:
+    ) -> tuple[
+        list[_AnyShardPart], tuple[SharedMemory, ...], tuple[int, int]
+    ]:
         """One part per shard; ``"flat"`` publishes front-owned segments.
 
-        The returned segments are the new generation's — the caller
-        installs them into ``_segments`` only once the fan-out
-        succeeded, and must release them itself on failure.
+        Returns ``(parts, segments, (geometry_bytes, coverage_bytes))``
+        — the payload split between the layer's single shared
+        geometry-plane segment and the per-shard segments (coverage
+        planes under ``"two-layer"``, full replicated sub-indexes under
+        ``"replicate"``; ``(0, 0)`` under rebuild, which publishes
+        nothing).  The returned segments are the new generation's — the
+        caller installs them into ``_segments`` only once the fan-out
+        succeeded, and must release them itself on failure.  Under
+        ``"two-layer"`` the geometry segment leads the tuple.
         """
         if self.snapshot == "rebuild":
             return (
@@ -954,18 +1260,52 @@ class ShardedJoinService:
                     for shard in range(self.num_shards)
                 ],
                 (),
+                (0, 0),
             )
-        parts: list[_ShardPart | _FlatShardPart] = []
+        parts: list[_AnyShardPart] = []
         segments: list[SharedMemory] = []
         try:
+            if self.plan_mode == "two-layer":
+                geometry = pack_geometry_plane(index)
+                geometry_segment = geometry.to_shared_memory()
+                segments.append(geometry_segment)
+                geometry_bytes = int(geometry.nbytes)
+                coverage_bytes = 0
+                fanout_bits = int(getattr(index.store, "fanout_bits", 8))
+                for shard in range(self.num_shards):
+                    covering, store, _ = build_partition_store(
+                        plan.cells[shard], fanout_bits=fanout_bits
+                    )
+                    coverage = pack_coverage_plane(
+                        covering,
+                        store,
+                        home_shards=plan.home_shards,
+                        meta_extra={"shard": shard},
+                    )
+                    segment = coverage.to_shared_memory()
+                    segments.append(segment)
+                    coverage_bytes += int(coverage.nbytes)
+                    parts.append(
+                        _TwoLayerShardPart(
+                            shard=shard,
+                            geometry_shm=geometry_segment.name,
+                            geometry_nbytes=geometry_bytes,
+                            coverage_shm=segment.name,
+                            coverage_nbytes=int(coverage.nbytes),
+                            version=int(index.version),
+                        )
+                    )
+                return parts, tuple(segments), (geometry_bytes, coverage_bytes)
+            coverage_bytes = 0
             for shard in range(self.num_shards):
                 part, segment = _flat_part_for(plan, shard, index)
                 parts.append(part)
                 segments.append(segment)
+                coverage_bytes += int(part.nbytes)
         except BaseException:
             self._release_segments({"": tuple(segments)})
             raise
-        return parts, tuple(segments)
+        return parts, tuple(segments), (0, coverage_bytes)
 
     @staticmethod
     def _release_segments(
@@ -978,6 +1318,33 @@ class ShardedJoinService:
                     segment.close()
                     segment.unlink()
 
+    def _measured_replication(self, plan: ShardPlan) -> float:
+        """Published geometry copies per distinct referenced polygon.
+
+        Two-layer publication stores geometry in exactly one shared
+        segment no matter how many coverage planes reference a polygon
+        (:func:`~repro.core.flat.pack_coverage_plane` rejects geometry
+        buffers outright), so its measured factor is structurally 1.0.
+        Replicate and rebuild publication copy a straddler into every
+        shard it touches — the plan's membership-derived factor.
+        """
+        if self.plan_mode == "two-layer" and self.snapshot == "flat":
+            return 1.0
+        return plan.replication_factor
+
+    def replication_factor(self, layer: str | None = None) -> float:
+        """Published geometry copies per distinct polygon in one layer."""
+        with self._lock:
+            name, _ = self._router.resolve(layer)
+            return self._replication[name]
+
+    def plane_bytes(self, layer: str | None = None) -> tuple[int, int]:
+        """One layer's published ``(shared geometry, per-shard)`` payload
+        bytes for the current generation (``(0, 0)`` under rebuild)."""
+        with self._lock:
+            name, _ = self._router.resolve(layer)
+            return self._plane_bytes[name]
+
     #: requires(_lock)
     def _set_snapshot_gauges(self, build_seconds: Sequence[float]) -> None:
         if self._snapshot_bytes_gauge is not None:
@@ -987,6 +1354,14 @@ class ShardedJoinService:
                     for generation in self._segments.values()
                     for segment in generation
                 )
+            )
+        if self._geometry_bytes_gauge is not None:
+            self._geometry_bytes_gauge.set(
+                sum(geometry for geometry, _ in self._plane_bytes.values())
+            )
+        if self._coverage_bytes_gauge is not None:
+            self._coverage_bytes_gauge.set(
+                sum(coverage for _, coverage in self._plane_bytes.values())
             )
         if self._attach_gauge is not None and build_seconds:
             self._attach_gauge.set(max(build_seconds))
@@ -1246,7 +1621,7 @@ class ShardedJoinService:
                     f"{index.version} (currently {previous.version})"
                 )
             plan = ShardPlan.from_index(index, self.num_shards)
-            parts, segments = self._publish_parts(plan, index)
+            parts, segments, plane_bytes = self._publish_parts(plan, index)
             try:
                 reports = self._admin_fan_out(
                     [("swap", name, part) for part in parts]
@@ -1265,6 +1640,8 @@ class ShardedJoinService:
             if segments:
                 self._segments[name] = segments
             self._plans[name] = plan
+            self._plane_bytes[name] = plane_bytes
+            self._replication[name] = self._measured_replication(plan)
             previous = self._router.swap(name, index)
             self._set_snapshot_gauges(
                 [report["build_seconds"] for report in reports]
@@ -1288,7 +1665,7 @@ class ShardedJoinService:
             if name in self._router:
                 raise ValueError(f"layer {name!r} is already registered")
             plan = ShardPlan.from_index(index, self.num_shards)
-            parts, segments = self._publish_parts(plan, index)
+            parts, segments, plane_bytes = self._publish_parts(plan, index)
             try:
                 reports = self._admin_fan_out(
                     [("add_layer", name, part) for part in parts]
@@ -1299,6 +1676,8 @@ class ShardedJoinService:
             if segments:
                 self._segments[name] = segments
             self._plans[name] = plan
+            self._plane_bytes[name] = plane_bytes
+            self._replication[name] = self._measured_replication(plan)
             self._router.add(name, index)
             self._set_snapshot_gauges(
                 [report["build_seconds"] for report in reports]
@@ -1355,7 +1734,11 @@ class ShardedJoinService:
         Front-level latency covers whole scatter/gather dispatches;
         cache counters sum across shards per layer; each shard's own
         ``ServiceStats`` (including its adaptation state) rides along in
-        ``shards``.  Adaptation entries are keyed ``layer@shardN`` so the
+        ``shards``, with the shard's polygons split into owned vs
+        borrowed classes (``sum(num_owned) over shards`` == the layer
+        polygon counts — no double-counted straddlers), and
+        ``stats.replication`` carries each layer's measured geometry
+        replication factor.  Adaptation entries are keyed ``layer@shardN`` so the
         point-weighted ``live_sth_rate`` and ``retrains`` aggregates stay
         correct across the fan-out.
         """
@@ -1375,6 +1758,7 @@ class ShardedJoinService:
             shard_stats: list[ServiceStats] = [value for _, value in gathered]
             indexes = dict(self._router.items())
             plans = dict(self._plans)
+            replication = dict(self._replication)
         cache: dict[str, CacheStats] = {}
         for name in indexes:
             slices = [s.cache[name] for s in shard_stats if name in s.cache]
@@ -1402,14 +1786,19 @@ class ShardedJoinService:
         shards = tuple(
             ShardStatus(
                 shard=shard,
-                num_polygons=sum(
-                    len(plan.members[shard]) for plan in plans.values()
+                num_owned=sum(
+                    len(plan.owned[shard]) for plan in plans.values()
+                ),
+                num_borrowed=sum(
+                    len(plan.borrowed[shard]) for plan in plans.values()
                 ),
                 stats=stats,
             )
             for shard, stats in enumerate(shard_stats)
         )
-        return self._recorder.snapshot(cache, layers, adaptation, shards=shards)
+        return self._recorder.snapshot(
+            cache, layers, adaptation, shards=shards, replication=replication
+        )
 
     def _check_open(self) -> None:
         if self._closed:
@@ -1441,6 +1830,8 @@ class ShardedJoinService:
                 client.close()
             self._release_segments(self._segments)
             self._segments = {}
+            self._plane_bytes = {}
+            self._replication = {}
             self._set_snapshot_gauges(())
 
     def __enter__(self) -> "ShardedJoinService":

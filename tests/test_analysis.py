@@ -313,6 +313,61 @@ def test_flat_contract_flags_dtype_drift_and_alignment(tmp_path):
     assert "dtype:alpha" in symbols  # packed <i8, spec says <u8
 
 
+FLAT_SPREAD_SPEC = """
+    import numpy as np
+
+    GEOMETRY_BUFFERS = {
+        "alpha": "<u8",
+    }
+    COVERAGE_BUFFERS = {
+        "beta": "<f8",
+    }
+    FLAT_BUFFER_SPEC = {
+        **GEOMETRY_BUFFERS,
+        **COVERAGE_BUFFERS,
+    }
+    _ALIGN = 64
+
+    def pack(a, b):
+        buffers = {
+            "alpha": a,
+            "beta": b,
+        }
+        return buffers
+
+    def read(buffers):
+        return buffers["alpha"], buffers["beta"]
+"""
+
+
+def test_flat_contract_resolves_spread_merged_sections(tmp_path):
+    # The two-layer spec shape: FLAT_BUFFER_SPEC = {**GEOM, **COVERAGE}.
+    findings = analyze(
+        tmp_path, {"flat.py": FLAT_SPREAD_SPEC}, select=["flat-contract"]
+    )
+    assert findings == []
+
+
+def test_flat_contract_spread_sections_still_check_packs(tmp_path):
+    source = FLAT_SPREAD_SPEC.replace(
+        '"beta": b,\n        }', '"beta": b,\n            "gamma": b,\n        }'
+    )
+    findings = analyze(
+        tmp_path, {"flat.py": source}, select=["flat-contract"]
+    )
+    assert {f.symbol for f in findings} == {"pack:gamma"}
+
+
+def test_flat_contract_flags_overlapping_sections(tmp_path):
+    source = FLAT_SPREAD_SPEC.replace(
+        '"beta": "<f8",', '"beta": "<f8",\n        "alpha": "<u8",'
+    )
+    findings = analyze(
+        tmp_path, {"flat.py": source}, select=["flat-contract"]
+    )
+    assert any(f.symbol == "overlap:alpha" for f in findings)
+
+
 def test_flat_contract_warns_on_stale_spec_entry(tmp_path):
     source = FLAT_SPEC.replace(
         '"beta": "<f8",', '"beta": "<f8",\n        "orphan": "<u4",'

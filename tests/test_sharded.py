@@ -120,6 +120,130 @@ class TestShardPlan:
         with pytest.raises(ValueError):
             ShardPlan.from_index(index, 0)
 
+    def test_invalid_balance_mode(self, index):
+        with pytest.raises(ValueError, match="balance"):
+            ShardPlan.from_index(index, 2, balance="bogus")
+
+    def test_owned_and_borrowed_partition_members(self, index):
+        plan = ShardPlan.from_index(index, 3)
+        owned_union = []
+        for shard in range(3):
+            owned = set(plan.owned[shard])
+            borrowed = set(plan.borrowed[shard])
+            assert owned & borrowed == set()
+            assert owned | borrowed == set(plan.members[shard])
+            owned_union.extend(plan.owned[shard])
+        # Every polygon is homed in exactly one shard: the owned lists
+        # partition the polygon set even though members overlap.
+        assert sorted(owned_union) == list(range(len(index.polygons)))
+        # Owned ids agree with the home-shard table.
+        for shard in range(3):
+            for pid in plan.owned[shard]:
+                assert plan.home_shards[pid] == shard
+
+    def test_replication_factor_counts_membership_slots(self, index):
+        plan = ShardPlan.from_index(index, 3)
+        slots = sum(len(m) for m in plan.members)
+        assert plan.replication_factor == slots / len(index.polygons)
+        assert plan.replication_factor > 1.0  # the grid has straddlers
+        solo = ShardPlan.from_index(index, 1)
+        assert solo.replication_factor == 1.0
+
+    def test_owned_weight_cuts_improve_boundary_heavy_balance(self):
+        """The owned-entries satellite: replicated weights distort cuts.
+
+        A chain of heavily overlapping polygons is boundary-heavy —
+        nearly every covering straddles any cut.  Weighting cuts by raw
+        entry counts lets the same straddler weigh into several shards'
+        shares, so the *owned work* (the balance that decides how much
+        home-shard refinement each worker performs) skews; owned-only
+        weights must strictly improve the max/min owned-work ratio.
+        """
+        chain = [
+            regular_polygon((-74.0 + 0.004 * i, 40.70), 0.012, 8)
+            for i in range(24)
+        ]
+        chain_index = PolygonIndex.build(chain, precision_meters=30.0)
+
+        def owned_ratio(plan):
+            work = np.asarray(plan.owned_work, dtype=np.float64)
+            return np.inf if work.min() == 0 else work.max() / work.min()
+
+        for num_shards in (3, 4):
+            owned = ShardPlan.from_index(
+                chain_index, num_shards, balance="owned"
+            )
+            entries = ShardPlan.from_index(
+                chain_index, num_shards, balance="entries"
+            )
+            assert owned_ratio(owned) < owned_ratio(entries)
+            assert owned_ratio(owned) < 2.0
+
+    def test_owned_balance_is_default(self, index):
+        assert ShardPlan.from_index(index, 4).balance == "owned"
+        default = ShardPlan.from_index(index, 4)
+        explicit = ShardPlan.from_index(index, 4, balance="owned")
+        assert list(default.boundaries) == list(explicit.boundaries)
+
+    def test_more_shards_than_weight_mass_leaves_empty_shards(self):
+        """Degenerate plan: duplicate cut points collapse to empty shards.
+
+        One polygon's owned work all lands on a single home cell, so
+        with 6 shards most quantile cuts coincide — the collapsed shards
+        must stay empty (no cells, no members) without perturbing the
+        exact partition or shard-id stability.
+        """
+        solo = PolygonIndex.build(
+            [regular_polygon((-74.0, 40.70), 0.011, 16)],
+            precision_meters=30.0,
+        )
+        plan = ShardPlan.from_index(solo, 6)
+        assert plan.num_shards == 6
+        assert sum(len(cells) for cells in plan.cells) == len(
+            solo.super_covering.raw_items()
+        )
+        empty = [s for s in range(6) if not plan.cells[s]]
+        assert empty  # the degenerate case actually occurred
+        for shard in empty:
+            assert plan.members[shard] == ()
+            assert plan.owned[shard] == ()
+            assert plan.borrowed[shard] == ()
+        assert sum(len(o) for o in plan.owned) == 1
+
+    def test_degenerate_plan_still_serves_identically(self, points):
+        lats, lngs = points
+        solo = PolygonIndex.build(
+            [regular_polygon((-74.0, 40.70), 0.011, 16)],
+            precision_meters=30.0,
+        )
+        direct = solo.join(lats, lngs, exact=True)
+        with ShardedJoinService(solo, num_shards=6, backend="inline") as svc:
+            assert_identical(svc.join(lats, lngs, exact=True), direct)
+
+    def test_polygon_straddling_every_cut(self, points):
+        """A domain-spanning polygon is borrowed by every foreign shard."""
+        lats, lngs = points
+        polygons = _grid_polygons() + [
+            regular_polygon((-73.98, 40.72), 0.05, 24)
+        ]
+        big = len(polygons) - 1
+        straddle_index = PolygonIndex.build(polygons, precision_meters=30.0)
+        plan = ShardPlan.from_index(straddle_index, 4)
+        # The big polygon's owned-work spike can collapse a quantile cut
+        # into an empty shard; it must straddle every *populated* shard.
+        populated = [s for s in range(4) if plan.cells[s]]
+        holding = [s for s in range(4) if big in plan.members[s]]
+        assert holding == populated
+        assert len(holding) >= 3  # genuinely straddles multiple cuts
+        homes = [s for s in range(4) if big in plan.owned[s]]
+        assert len(homes) == 1  # yet owned exactly once
+        assert plan.home_shards[big] == homes[0]
+        direct = straddle_index.join(lats, lngs, exact=True)
+        with ShardedJoinService(
+            straddle_index, num_shards=4, backend="inline"
+        ) as svc:
+            assert_identical(svc.join(lats, lngs, exact=True), direct)
+
 
 class TestInlineSharded:
     @pytest.mark.parametrize("num_shards", [1, 2, 3, 5])
@@ -242,6 +366,114 @@ class TestInlineSharded:
         assert stats.layers["default"].num_polygons == len(index.polygons)
 
 
+class TestTwoLayerPlan:
+    """The two-layer publication plan: shared geometry + per-shard coverage."""
+
+    def test_two_layer_is_the_flat_default(self, index):
+        with ShardedJoinService(index, num_shards=3, backend="inline") as svc:
+            assert svc.plan_mode == "two-layer"
+        with ShardedJoinService(
+            index, num_shards=2, backend="inline", snapshot="rebuild"
+        ) as svc:
+            assert svc.plan_mode == "replicate"
+
+    def test_unknown_plan_rejected(self, index):
+        with pytest.raises(ValueError, match="plan"):
+            ShardedJoinService(index, num_shards=2, plan="bogus")
+
+    def test_two_layer_requires_flat_snapshot(self, index):
+        with pytest.raises(ValueError, match="two-layer"):
+            ShardedJoinService(
+                index, num_shards=2, snapshot="rebuild", plan="two-layer"
+            )
+
+    def test_geometry_published_in_exactly_one_segment(self, index):
+        with ShardedJoinService(index, num_shards=3, backend="inline") as svc:
+            # One shared geometry segment + one coverage segment per shard.
+            assert len(svc._segments["default"]) == 3 + 1
+            geometry_bytes, coverage_bytes = svc.plane_bytes()
+            assert geometry_bytes > 0
+            assert coverage_bytes > 0
+            assert svc.replication_factor() == 1.0
+
+    def test_replicate_plan_publishes_per_shard_copies(self, index):
+        with ShardedJoinService(
+            index, num_shards=3, backend="inline", plan="replicate"
+        ) as svc:
+            assert svc.plan_mode == "replicate"
+            assert len(svc._segments["default"]) == 3
+            geometry_bytes, coverage_bytes = svc.plane_bytes()
+            assert geometry_bytes == 0
+            assert coverage_bytes > 0
+            # Straddler geometry is replicated into every member shard.
+            assert svc.replication_factor() == svc.plan().replication_factor
+            assert svc.replication_factor() > 1.0
+
+    def test_replicate_plan_stays_bit_identical(self, index, points):
+        lats, lngs = points
+        direct = index.join(lats, lngs, exact=True)
+        with ShardedJoinService(
+            index, num_shards=3, backend="inline", plan="replicate"
+        ) as svc:
+            assert_identical(svc.join(lats, lngs, exact=True), direct)
+
+    def test_mini_join_splits_refinement_by_class(self, index, points):
+        lats, lngs = points
+        from repro.serve.sharded import _MiniJoinRefiner
+
+        with ShardedJoinService(index, num_shards=3, backend="inline") as svc:
+            direct = index.join(lats, lngs, exact=True)
+            assert_identical(svc.join(lats, lngs, exact=True), direct)
+            refiners = [
+                client._service._router.resolve(None)[1].probe_view().refiner
+                for client in svc._clients
+            ]
+            assert all(isinstance(r, _MiniJoinRefiner) for r in refiners)
+            owned = sum(r.owned_pairs for r in refiners)
+            borrowed = sum(r.borrowed_pairs for r in refiners)
+            assert owned > 0
+            assert borrowed > 0  # straddler shards refined foreign work
+            # Class split partitions the exact-mode candidate stream.
+            assert owned + borrowed == direct.num_pip_tests
+
+    def test_swap_keeps_two_layer_plan(self, index, swap_index, points):
+        lats, lngs = points
+        with ShardedJoinService(index, num_shards=3, backend="inline") as svc:
+            svc.swap_layer("default", swap_index)
+            assert len(svc._segments["default"]) == 3 + 1
+            assert svc.replication_factor() == 1.0
+            assert_identical(
+                svc.join(lats, lngs, exact=True),
+                swap_index.join(lats, lngs, exact=True),
+            )
+
+    def test_stats_owned_borrowed_never_double_count(self, index, points):
+        lats, lngs = points
+        with ShardedJoinService(index, num_shards=3, backend="inline") as svc:
+            svc.join(lats, lngs)
+            stats = svc.stats()
+        # The double-counting fix: summing owned counts reproduces the
+        # layer's true polygon count; borrowed tracks straddler traffic.
+        assert sum(s.num_owned for s in stats.shards) == len(index.polygons)
+        assert sum(s.num_borrowed for s in stats.shards) > 0
+        for shard in stats.shards:
+            assert shard.num_polygons == shard.num_owned + shard.num_borrowed
+        assert stats.replication == {"default": 1.0}
+        data = stats.to_dict()
+        assert data["replication"] == {"default": 1.0}
+        for shard in data["shards"]:
+            assert shard["num_polygons"] == (
+                shard["num_owned"] + shard["num_borrowed"]
+            )
+
+    def test_process_backend_two_layer(self, index, points):
+        lats, lngs = points
+        direct = index.join(lats, lngs, exact=True)
+        with ShardedJoinService(index, num_shards=2, backend="process") as svc:
+            assert len(svc._segments["default"]) == 2 + 1
+            assert_identical(svc.join(lats, lngs, exact=True), direct)
+
+
 class TestPartialFailureHandling:
     def test_partial_swap_poisons_the_service(
         self, index, swap_index, points, monkeypatch
@@ -317,15 +549,17 @@ class TestShardBoundaryProperty:
         num_points=st.integers(min_value=0, max_value=400),
         exact=st.booleans(),
         swap=st.booleans(),
+        plan=st.sampled_from(["two-layer", "replicate"]),
     )
     def test_sharded_join_bit_identical(
-        self, index, swap_index, num_shards, seed, num_points, exact, swap
+        self, index, swap_index, num_shards, seed, num_points, exact, swap,
+        plan,
     ):
         rng = np.random.default_rng(seed)
         lngs = rng.uniform(-74.05, -73.91, num_points)
         lats = rng.uniform(40.65, 40.79, num_points)
         with ShardedJoinService(
-            index, num_shards=num_shards, backend="inline"
+            index, num_shards=num_shards, backend="inline", plan=plan
         ) as svc:
             reference = index
             if swap:
